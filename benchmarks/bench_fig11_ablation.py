@@ -1,0 +1,74 @@
+"""Figure 11: (a) sensitivity to the cluster radius ε; (b) METAM variants.
+
+(a) sweeps ε — the paper reports that the number of queries does not
+change drastically with ε.  (b) compares full METAM against Eq (no
+Thompson sampling), Nc (no clustering), and NcEq: the full algorithm
+should dominate, since Eq/NcEq lose prioritization and Nc wastes queries
+on redundant candidates.
+"""
+
+from benchmarks.common import report, scaled
+from repro import MetamConfig, prepare_candidates, run_metam
+from repro.baselines import metam_variant
+from repro.data import housing_scenario
+
+QUERY_POINTS = (10, 25, 50, 100, 150)
+
+
+def test_fig11a_vary_epsilon(benchmark):
+    scenario = housing_scenario(
+        seed=0, n_irrelevant=scaled(25), n_erroneous=scaled(15), n_traps=scaled(8)
+    )
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    epsilons = (0.03, 0.05, 0.07, 0.15)
+
+    def run_sweep():
+        results = {}
+        for epsilon in epsilons:
+            config = MetamConfig(
+                theta=1.0, query_budget=150, epsilon=epsilon, seed=0
+            )
+            results[f"eps={epsilon}"] = run_metam(
+                candidates, scenario.base, scenario.corpus, scenario.task, config
+            )
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["setting     " + "".join(f"{q:>8}" for q in QUERY_POINTS)]
+    for name, result in results.items():
+        lines.append(
+            f"{name:12s}"
+            + "".join(f"{result.utility_at(q):8.3f}" for q in QUERY_POINTS)
+        )
+    report("fig11a_vary_epsilon", lines)
+    finals = [r.utility_at(150) for r in results.values()]
+    assert max(finals) - min(finals) <= 0.12  # robust to ε
+
+
+def test_fig11b_variants(benchmark):
+    scenario = housing_scenario(
+        seed=0, n_irrelevant=scaled(25), n_erroneous=scaled(15), n_traps=scaled(8)
+    )
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    base_config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
+
+    def run_sweep():
+        results = {}
+        for name in ("metam", "eq", "nc", "nceq"):
+            searcher = metam_variant(
+                name, candidates, scenario.base, scenario.corpus,
+                scenario.task, base_config,
+            )
+            results[name] = searcher.run()
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["variant     " + "".join(f"{q:>8}" for q in QUERY_POINTS)]
+    for name, result in results.items():
+        lines.append(
+            f"{name:12s}"
+            + "".join(f"{result.utility_at(q):8.3f}" for q in QUERY_POINTS)
+        )
+    report("fig11b_variants", lines)
+    best = max(r.utility_at(150) for r in results.values())
+    assert results["metam"].utility_at(150) >= best - 0.05

@@ -1,0 +1,130 @@
+"""Figure 3: METAM vs baselines on the four headline tasks.
+
+(a) classification (housing prices), (b) regression (collisions),
+(c) what-if (SAT reading), (d) how-to (SAT total) — utility as a function
+of the number of interventional queries.  iARDA runs on the supervised-ML
+panels only, exactly as in the paper.
+
+Expected shape: METAM reaches the highest utility with the fewest
+queries; Overlap is dragged down by full-coverage erroneous joins;
+Uniform wastes queries on distractors.
+"""
+
+from benchmarks.common import (
+    average_results,
+    averaged_table,
+    report,
+    run_comparison,
+    scaled,
+)
+from repro.data import (
+    collisions_scenario,
+    housing_scenario,
+    sat_howto_scenario,
+    sat_whatif_scenario,
+)
+
+QUERY_POINTS = (10, 25, 50, 100, 150)
+SEEDS = (0, 1)
+
+
+def _averaged_panel(make_scenario, budget, query_points, **comparison_kwargs):
+    per_seed = []
+    for seed in SEEDS:
+        scenario = make_scenario(seed)
+        per_seed.append(
+            run_comparison(scenario, budget=budget, seed=seed, **comparison_kwargs)
+        )
+    return average_results(per_seed, query_points)
+
+
+def _check_metam_competitive(averages, slack=0.05):
+    """METAM's final mean utility is within noise of the best searcher."""
+    best = max(values[-1] for values in averages.values())
+    assert averages["metam"][-1] >= best - slack
+
+
+def test_fig3a_classification(benchmark):
+    averages = benchmark.pedantic(
+        lambda: _averaged_panel(
+            lambda seed: housing_scenario(
+                seed=seed,
+                n_irrelevant=scaled(60),
+                n_erroneous=scaled(40),
+                n_traps=scaled(20),
+            ),
+            budget=150,
+            query_points=QUERY_POINTS,
+            include_iarda=True,
+            iarda_target="price_label",
+            iarda_mode="classification",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig3a_classification", averaged_table(averages, QUERY_POINTS))
+    _check_metam_competitive(averages)
+
+
+def test_fig3b_regression(benchmark):
+    averages = benchmark.pedantic(
+        lambda: _averaged_panel(
+            lambda seed: collisions_scenario(
+                seed=seed,
+                n_irrelevant=scaled(60),
+                n_erroneous=scaled(40),
+                n_traps=scaled(20),
+            ),
+            budget=150,
+            query_points=QUERY_POINTS,
+            include_iarda=True,
+            iarda_target="collisions",
+            iarda_mode="regression",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig3b_regression", averaged_table(averages, QUERY_POINTS))
+    _check_metam_competitive(averages)
+
+
+def test_fig3c_what_if(benchmark):
+    points = (10, 25, 50, 100, 200)
+    averages = benchmark.pedantic(
+        lambda: _averaged_panel(
+            lambda seed: sat_whatif_scenario(
+                seed=seed,
+                n_irrelevant=scaled(60),
+                n_erroneous=scaled(40),
+                n_traps=scaled(25),
+            ),
+            budget=200,
+            query_points=points,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig3c_what_if", averaged_table(averages, points))
+    _check_metam_competitive(averages)
+    assert averages["metam"][-1] >= 0.95
+
+
+def test_fig3d_how_to(benchmark):
+    points = (10, 25, 50, 100, 200)
+    averages = benchmark.pedantic(
+        lambda: _averaged_panel(
+            lambda seed: sat_howto_scenario(
+                seed=seed,
+                n_irrelevant=scaled(60),
+                n_erroneous=scaled(40),
+                n_traps=scaled(25),
+            ),
+            budget=200,
+            query_points=points,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig3d_how_to", averaged_table(averages, points))
+    _check_metam_competitive(averages)
+    assert averages["metam"][-1] >= 0.95

@@ -1,0 +1,68 @@
+"""Figure 4: (a) classification with AutoML; (b) unions (row addition).
+
+Panel (a) swaps the random-forest task for the MiniAutoML searcher (TPOT
+substitute): METAM improves the learned pipeline's utility while the
+baselines lag.  Panel (b) augments rows instead of columns: good unions
+(in-distribution batches) help, mislabeled scraped batches hurt, and the
+searchers must tell them apart interventionally.
+"""
+
+from benchmarks.common import report, run_comparison, scaled, series_table
+from repro import prepare_candidates
+from repro.data import schools_scenario, unions_scenario
+from repro.tasks import AutoMLTask
+
+QUERY_POINTS = (5, 10, 20, 40, 60)
+
+
+def test_fig4a_automl(benchmark):
+    scenario = schools_scenario(
+        seed=0,
+        n_irrelevant=scaled(20),
+        n_erroneous=scaled(12),
+        n_traps=scaled(8),
+    )
+    # Same discovery problem, AutoML utility oracle (Fig. 4a).
+    scenario.task = AutoMLTask(
+        "outcome", exclude_columns=("school_id",), budget=4, seed=0
+    )
+    results = benchmark.pedantic(
+        lambda: run_comparison(scenario, budget=60),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig4a_automl", series_table(results, QUERY_POINTS))
+    best = max(r.utility_at(60) for r in results.values())
+    assert results["metam"].utility_at(60) >= best - 0.05
+    assert results["metam"].utility > results["metam"].base_utility
+
+
+def test_fig4b_unions(benchmark):
+    scenario = unions_scenario(
+        seed=0, n_good_unions=scaled(8), n_bad_unions=scaled(8)
+    )
+    candidates = prepare_candidates(
+        scenario.base,
+        scenario.corpus,
+        include_unions=True,
+        min_union_shared=0.9,
+        seed=0,
+    )
+    union_candidates = [c for c in candidates if c.aug_id.startswith("union:")]
+    results = benchmark.pedantic(
+        lambda: run_comparison(
+            scenario, budget=60, candidates=union_candidates
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig4b_unions", series_table(results, (5, 10, 20, 40, 60)))
+    metam = results["metam"]
+    assert metam.utility >= metam.base_utility
+    best = max(r.utility_at(60) for r in results.values())
+    assert metam.utility_at(60) >= best - 0.05
+    # Mislabeled unions must not be in the solution.
+    assert all(
+        aug_id.replace("union:", "").startswith("rents_batch")
+        for aug_id in metam.selected
+    )

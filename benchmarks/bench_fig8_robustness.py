@@ -1,0 +1,89 @@
+"""Figure 8: queries to find the planted ground truth under distractors.
+
+A single ground-truth augmentation is planted; (a) varies *irrelevant*
+candidates (correct joins, no signal) and (b) varies *erroneous*
+candidates (shuffled join keys).  The paper's shape: the ground truth is
+found within a few hundred queries, and the query count grows with the
+distractor count but stays far below exhaustive search.
+"""
+
+import numpy as np
+
+from benchmarks.common import report, scaled
+from repro import MetamConfig, prepare_candidates, run_metam
+from repro.data.generator import RepositoryBuilder, make_keys
+from repro.dataframe.table import Table
+from repro.tasks.causal.howto import HowToTask
+from repro.utils.rng import ensure_rng
+
+
+def _single_truth_scenario(n_irrelevant: int, n_erroneous: int, seed: int = 0):
+    """One planted cause of the outcome + configurable distractors."""
+    rng = ensure_rng(seed)
+    n_keys = 200
+    keys = make_keys(n_keys, prefix="rec", start=1)
+    cause = rng.normal(size=n_keys)
+    outcome = 1.5 * cause + rng.normal(scale=0.4, size=n_keys)
+    noise_feature = rng.normal(size=n_keys)
+    base = Table(
+        "fig8_base",
+        {
+            "record_id": keys,
+            "outcome": outcome.tolist(),
+            "noise_feature": noise_feature.tolist(),
+        },
+    )
+    builder = RepositoryBuilder(keys, key_column="record_id", seed=seed)
+    builder.add_relevant("truth_table", "true_cause", cause.tolist())
+    # Half of the "irrelevant" pool are profile look-alikes (traps), so
+    # the quality prior cannot trivially single out the planted truth —
+    # queries must grow with the distractor count, as in the paper.
+    builder.add_traps(n_irrelevant // 2, noise_feature.tolist())
+    builder.add_irrelevant(n_irrelevant - n_irrelevant // 2)
+    builder.add_erroneous(n_erroneous, signal_values=cause.tolist())
+    task = HowToTask(
+        "outcome", truth_causes={"true_cause"}, exclude_columns=("record_id",)
+    )
+    return base, builder.build(), task
+
+
+def _queries_to_truth(n_irrelevant: int, n_erroneous: int, seed: int = 0) -> int:
+    base, corpus, task = _single_truth_scenario(n_irrelevant, n_erroneous, seed)
+    candidates = prepare_candidates(base, corpus, seed=seed)
+    config = MetamConfig(theta=1.0, query_budget=2000, epsilon=0.1, seed=seed)
+    result = run_metam(candidates, base, corpus, task, config)
+    assert result.utility == 1.0, "ground truth not found within budget"
+    # Queries spent until the trace first reaches utility 1.0.
+    for step, value in result.trace:
+        if value >= 1.0:
+            return step
+    return result.queries
+
+
+def test_fig8a_vary_irrelevant(benchmark):
+    counts = [0, scaled(50), scaled(100), scaled(200)]
+    rows = benchmark.pedantic(
+        lambda: {n: _queries_to_truth(n, n_erroneous=20) for n in counts},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'#irrelevant':>12} {'#queries':>10}"]
+    for n, queries in rows.items():
+        lines.append(f"{n:12d} {queries:10d}")
+    report("fig8a_vary_irrelevant", lines)
+    assert rows[counts[-1]] <= 2000
+    assert rows[counts[0]] <= rows[counts[-1]] + 5  # grows (modulo noise)
+
+
+def test_fig8b_vary_erroneous(benchmark):
+    counts = [0, scaled(50), scaled(100), scaled(200)]
+    rows = benchmark.pedantic(
+        lambda: {n: _queries_to_truth(20, n_erroneous=n) for n in counts},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'#erroneous':>12} {'#queries':>10}"]
+    for n, queries in rows.items():
+        lines.append(f"{n:12d} {queries:10d}")
+    report("fig8b_vary_erroneous", lines)
+    assert rows[counts[-1]] <= 2000

@@ -1,0 +1,43 @@
+"""What-if causal analysis (§VI-A): what changes if reading scores rise?
+
+The SAT scenario plants a causal structure: writing/essay/verbal scores
+are downstream of the critical-reading score, the math score is only
+confounded with it, and dozens of distractor tables are noise.  METAM
+steers discovery toward the augmentations the causal task certifies.
+
+Run:  python examples/causal_whatif.py
+"""
+
+from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro.data import sat_whatif_scenario
+from repro.tasks.base import canonical_column
+
+
+def main():
+    scenario = sat_whatif_scenario(seed=0)
+    print("Question: what is causally affected if we raise "
+          "'critical_reading_score'?")
+    print(f"Planted affected attributes: {sorted(scenario.truth_columns)}\n")
+
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    print(f"Candidate augmentations: {len(candidates)}")
+
+    config = MetamConfig(theta=1.0, query_budget=250, epsilon=0.1, seed=0)
+    result = run_metam(
+        candidates, scenario.base, scenario.corpus, scenario.task, config
+    )
+    print(f"\n{result.summary()}")
+    found = {canonical_column(a) for a in result.selected}
+    print(f"Causally affected attributes discovered: {sorted(found)}")
+    print(f"Recall of ground truth: "
+          f"{len(found & scenario.truth_columns)}/{len(scenario.truth_columns)}")
+
+    mw = run_baseline(
+        "mw", candidates, scenario.base, scenario.corpus, scenario.task,
+        theta=1.0, query_budget=250, seed=0,
+    )
+    print(f"\nMW baseline for comparison: {mw.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Entity linking (§VI-A.4): disambiguating city names with augmentation.
+
+"Springfield" exists in several states; without context the linker cannot
+choose a knowledge-base entity.  The repository holds a city → state
+table, and METAM discovers that this single augmentation fixes linking —
+in a handful of queries, matching the paper's report of 4 queries versus
+10 for MW and 40+ for the other baselines.
+
+Run:  python examples/entity_linking.py
+"""
+
+from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro.data import entity_linking_scenario
+from repro.tasks.base import canonical_column
+
+
+def main():
+    scenario = entity_linking_scenario(seed=0)
+    base_accuracy = scenario.task.utility(scenario.base)
+    print(f"Linking accuracy without augmentation: {base_accuracy:.3f}")
+    print("(ambiguous city names cannot be resolved)\n")
+
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    print(f"Candidate augmentations: {len(candidates)}")
+
+    config = MetamConfig(theta=0.99, query_budget=60, epsilon=0.1, seed=0)
+    result = run_metam(
+        candidates, scenario.base, scenario.corpus, scenario.task, config
+    )
+    print(f"\n{result.summary()}")
+    print("Selected augmentations:",
+          [canonical_column(a) for a in result.selected])
+
+    for name in ("mw", "uniform"):
+        r = run_baseline(
+            name, candidates, scenario.base, scenario.corpus, scenario.task,
+            theta=0.99, query_budget=60, seed=0,
+        )
+        print(f"{name}: reached {r.utility:.3f} in {r.queries} queries")
+
+
+if __name__ == "__main__":
+    main()

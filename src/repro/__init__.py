@@ -1,0 +1,30 @@
+"""METAM: Goal-Oriented Data Discovery (ICDE 2023) — full reproduction.
+
+Quickstart::
+
+    from repro import prepare_candidates, run_metam, MetamConfig
+    from repro.data import housing_scenario
+
+    scenario = housing_scenario(seed=0)
+    candidates = prepare_candidates(scenario.base, scenario.corpus)
+    result = run_metam(candidates, scenario.base, scenario.corpus,
+                       scenario.task, MetamConfig(theta=0.8))
+    print(result.summary())
+"""
+
+from repro.core.config import MetamConfig
+from repro.core.metam import Metam
+from repro.core.result import SearchResult
+from repro.pipeline import prepare_candidates, run_baseline, run_metam
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MetamConfig",
+    "Metam",
+    "SearchResult",
+    "prepare_candidates",
+    "run_baseline",
+    "run_metam",
+    "__version__",
+]

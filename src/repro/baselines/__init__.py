@@ -1,0 +1,26 @@
+"""Baseline searchers (§III-A, §VI): MW, Overlap, Uniform, iARDA,
+Join-Everything, and the METAM ablation variants Eq / Nc / NcEq.
+
+All baselines run through the same :class:`~repro.core.querying.QueryEngine`
+and greedy monotone acceptance as METAM, so query counts are comparable.
+"""
+
+from repro.baselines.base import RankingSearcher, greedy_monotone_search
+from repro.baselines.mw import MultiplicativeWeightsSearcher
+from repro.baselines.overlap_ranking import OverlapSearcher
+from repro.baselines.uniform import UniformSearcher
+from repro.baselines.arda import IArdaSearcher
+from repro.baselines.join_everything import JoinEverythingSearcher
+from repro.baselines.variants import metam_variant, VARIANT_NAMES
+
+__all__ = [
+    "RankingSearcher",
+    "greedy_monotone_search",
+    "MultiplicativeWeightsSearcher",
+    "OverlapSearcher",
+    "UniformSearcher",
+    "IArdaSearcher",
+    "JoinEverythingSearcher",
+    "metam_variant",
+    "VARIANT_NAMES",
+]

@@ -1,0 +1,37 @@
+"""iARDA baseline: ARDA's importance ranking run interventionally (§VI-A).
+
+ARDA [37] ranks candidate augmentations by random-injection feature
+importance.  iARDA queries candidates in that order with the same greedy
+monotone acceptance as every other baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import RankingSearcher
+from repro.profiles.arda import ArdaScorer
+
+
+class IArdaSearcher(RankingSearcher):
+    """Rank by ARDA random-injection importance, query in that order.
+
+    ``mode`` must match the downstream task family ("classification" or
+    "regression"); ``target_column`` is the task's target in ``Din``.
+    """
+
+    name = "iarda"
+
+    def __init__(self, *args, target_column: str, mode: str = "classification", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.target_column = target_column
+        self.mode = mode
+
+    def rank(self) -> list:
+        scorer = ArdaScorer(
+            self.base, self.target_column, mode=self.mode, seed=self.seed
+        )
+        columns = {c.aug_id: c.values for c in self.candidates}
+        scores = scorer.score_columns(columns)
+        ordered = sorted(
+            self.candidates, key=lambda c: (-scores.get(c.aug_id, 0.0), c.aug_id)
+        )
+        return [c.aug_id for c in ordered]

@@ -1,0 +1,89 @@
+"""Shared baseline machinery: greedy monotone search over a ranking."""
+
+from __future__ import annotations
+
+from repro.core.monotonic import MonotoneState
+from repro.core.querying import QueryBudgetExhausted, QueryEngine
+from repro.core.result import SearchResult
+from repro.dataframe.table import Table
+
+
+def greedy_monotone_search(
+    engine: QueryEngine,
+    ranking,
+    theta: float,
+) -> MonotoneState:
+    """Query candidates in ``ranking`` order, keeping improving ones.
+
+    This is the interventional adaptation all ranking baselines share
+    (§III-A "Utility-based selection"): iterate the ranking, query the
+    current solution plus the candidate, accept on improvement, stop at θ
+    or budget exhaustion.
+    """
+    state = MonotoneState(engine)
+    try:
+        for aug_id in ranking:
+            if state.utility >= theta:
+                break
+            state.try_add(aug_id)
+    except QueryBudgetExhausted:
+        pass
+    return state
+
+
+class RankingSearcher:
+    """A baseline defined by a static candidate ranking.
+
+    Subclasses implement :meth:`rank` returning augmentation ids in query
+    order.  ``run`` performs the greedy monotone search and packages a
+    :class:`~repro.core.result.SearchResult`.
+    """
+
+    name = "ranking"
+
+    def __init__(
+        self,
+        candidates,
+        base: Table,
+        corpus: dict,
+        task,
+        theta: float = 1.0,
+        query_budget: int = 1000,
+        seed: int = 0,
+    ):
+        self.candidates = list(candidates)
+        if not self.candidates:
+            raise ValueError("candidate set is empty")
+        self.base = base
+        self.corpus = corpus
+        self.task = task
+        self.theta = theta
+        self.seed = seed
+        self.engine = QueryEngine(
+            task, base, corpus, self.candidates, budget=query_budget
+        )
+
+    def rank(self) -> list:
+        """Candidate aug_ids in the order this baseline queries them."""
+        raise NotImplementedError
+
+    def run(self) -> SearchResult:
+        try:
+            state = greedy_monotone_search(self.engine, self.rank(), self.theta)
+        except QueryBudgetExhausted:
+            return SearchResult(
+                searcher=self.name,
+                selected=[],
+                utility=0.0,
+                base_utility=0.0,
+                queries=self.engine.queries,
+                trace=list(self.engine.trace),
+            )
+        return SearchResult(
+            searcher=self.name,
+            selected=list(state.selected),
+            utility=state.utility,
+            base_utility=self.engine.base_utility(),
+            queries=self.engine.queries,
+            trace=list(self.engine.trace),
+        )

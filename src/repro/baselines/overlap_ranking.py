@@ -1,0 +1,17 @@
+"""Overlap baseline: rank by join cardinality (S4 [14], Ver [22])."""
+
+from __future__ import annotations
+
+from repro.baselines.base import RankingSearcher
+
+
+class OverlapSearcher(RankingSearcher):
+    """Query augmentations in non-increasing overlap with ``Din``."""
+
+    name = "overlap"
+
+    def rank(self) -> list:
+        ordered = sorted(
+            self.candidates, key=lambda c: (-c.overlap, c.aug_id)
+        )
+        return [c.aug_id for c in ordered]

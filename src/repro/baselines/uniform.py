@@ -1,0 +1,18 @@
+"""Uniform-sampling baseline: query in random order."""
+
+from __future__ import annotations
+
+from repro.baselines.base import RankingSearcher
+from repro.utils.rng import ensure_rng
+
+
+class UniformSearcher(RankingSearcher):
+    """Query augmentations in a seeded uniform-random order."""
+
+    name = "uniform"
+
+    def rank(self) -> list:
+        rng = ensure_rng(self.seed)
+        ids = [c.aug_id for c in self.candidates]
+        perm = rng.permutation(len(ids))
+        return [ids[int(i)] for i in perm]

@@ -1,0 +1,38 @@
+"""METAM ablation variants for Fig. 11b: Eq, Nc, NcEq."""
+
+from __future__ import annotations
+
+from repro.core.config import MetamConfig
+from repro.core.metam import Metam
+
+VARIANT_NAMES = ("metam", "eq", "nc", "nceq")
+
+
+def metam_variant(
+    name: str,
+    candidates,
+    base,
+    corpus,
+    task,
+    config: MetamConfig = None,
+) -> Metam:
+    """Build a METAM instance with a variant's switches applied.
+
+    * ``metam`` — the full algorithm;
+    * ``eq``    — clusters ranked with equal importance (no Thompson);
+    * ``nc``    — every augmentation its own cluster (no clustering);
+    * ``nceq``  — both ablations at once.
+    """
+    name = name.lower()
+    if name not in VARIANT_NAMES:
+        raise ValueError(f"unknown variant {name!r}; choose from {VARIANT_NAMES}")
+    base_config = config or MetamConfig()
+    overrides = {
+        "metam": {},
+        "eq": {"use_thompson": False},
+        "nc": {"use_clustering": False},
+        "nceq": {"use_thompson": False, "use_clustering": False},
+    }[name]
+    fields = {**base_config.__dict__, **overrides}
+    searcher = Metam(candidates, base, corpus, task, MetamConfig(**fields))
+    return searcher

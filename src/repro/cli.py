@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-scenarios``
+    Show the built-in evaluation scenarios.
+``run``
+    Run METAM (and optionally baselines) on a scenario and print the
+    utility-vs-queries chart; ``--save`` archives results as JSON.
+``corpus-stats``
+    Generate a synthetic corpus and print its Table-I characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import MetamConfig
+from repro.core.plotting import render_traces
+from repro.core.runner import compare_searchers
+from repro.core.serialization import save_results
+from repro.data import (
+    clustering_scenario,
+    collisions_scenario,
+    entity_linking_scenario,
+    fairness_scenario,
+    housing_scenario,
+    sat_howto_scenario,
+    sat_whatif_scenario,
+    schools_scenario,
+)
+
+SCENARIOS = {
+    "housing": housing_scenario,
+    "schools": schools_scenario,
+    "collisions": collisions_scenario,
+    "sat-whatif": sat_whatif_scenario,
+    "sat-howto": sat_howto_scenario,
+    "entity-linking": entity_linking_scenario,
+    "fairness": fairness_scenario,
+    "clustering": clustering_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="METAM: goal-oriented data discovery (ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios", help="list built-in scenarios")
+
+    run = sub.add_parser("run", help="run METAM + baselines on a scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--budget", type=int, default=150, help="query budget")
+    run.add_argument("--theta", type=float, default=1.0, help="target utility")
+    run.add_argument("--epsilon", type=float, default=0.1, help="cluster radius")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--baselines",
+        default="mw,overlap,uniform",
+        help="comma-separated baselines (mw,overlap,uniform) or 'none'",
+    )
+    run.add_argument("--save", default=None, help="write results JSON here")
+    run.add_argument("--no-chart", action="store_true", help="skip ASCII chart")
+
+    stats = sub.add_parser("corpus-stats", help="Table-I style corpus stats")
+    stats.add_argument("--tables", type=int, default=100)
+    stats.add_argument("--style", choices=["open_data", "kaggle"], default="open_data")
+    stats.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list(_args) -> int:
+    for name in sorted(SCENARIOS):
+        factory = SCENARIOS[name]
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:16s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scenario = SCENARIOS[args.scenario](seed=args.seed)
+    baselines = () if args.baselines == "none" else tuple(
+        b.strip() for b in args.baselines.split(",") if b.strip()
+    )
+    query_points = tuple(
+        sorted({max(1, args.budget // 10), args.budget // 4, args.budget // 2, args.budget})
+    )
+    report = compare_searchers(
+        scenario,
+        budget=args.budget,
+        theta=args.theta,
+        epsilon=args.epsilon,
+        seeds=(args.seed,),
+        baselines=baselines,
+        query_points=query_points,
+        metam_config=MetamConfig(
+            theta=args.theta,
+            query_budget=args.budget,
+            epsilon=args.epsilon,
+            seed=args.seed,
+        ),
+    )
+    print(f"Scenario: {scenario.name} "
+          f"({scenario.base.num_rows} rows, {len(scenario.corpus)} repo tables)\n")
+    print(report.table())
+    print()
+    for name, result in report.runs[0].items():
+        print(result.summary())
+    if not args.no_chart:
+        print()
+        print(render_traces(report.runs[0], max_queries=args.budget))
+    if args.save:
+        save_results(report.runs[0], args.save)
+        print(f"\nResults written to {args.save}")
+    return 0
+
+
+def _cmd_corpus_stats(args) -> int:
+    from repro.data import corpus_characteristics, generate_corpus
+    from repro.discovery import DiscoveryIndex
+
+    corpus = generate_corpus(args.tables, style=args.style, seed=args.seed)
+    index = DiscoveryIndex(min_containment=0.3, seed=args.seed).build(corpus)
+    stats = corpus_characteristics(corpus, index)
+    print(f"{'#Tables':>10} {'#Columns':>10} {'#Joinable':>10} {'Size':>12}")
+    print(
+        f"{stats['tables']:10d} {stats['columns']:10d} "
+        f"{stats['joinable_columns']:10d} {stats['size_bytes']:11d}B"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-scenarios":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "corpus-stats":
+        return _cmd_corpus_stats(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""CLUSTER-PARTITION (Algorithm 2): ε-cover via greedy k-center.
+
+Distance between augmentations is the Chebyshev (max-coordinate) distance
+over profile vectors, per the paper's d(P1,P2) = max_i d(r1_i, r2_i).
+Centers are added greedily (Gonzalez) until every augmentation lies within
+ε of its center.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def chebyshev(a: np.ndarray, b: np.ndarray) -> float:
+    """Max-coordinate distance between two profile vectors."""
+    return float(np.max(np.abs(np.asarray(a, float) - np.asarray(b, float))))
+
+
+class Clusters:
+    """Result of CLUSTER-PARTITION over ``n`` augmentations.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[i]`` is the cluster id of augmentation ``i``.
+    centers:
+        ``centers[c]`` is the index of cluster ``c``'s representative.
+    """
+
+    def __init__(self, vectors: np.ndarray, centers, assignment):
+        self.vectors = vectors
+        self.centers = list(centers)
+        self.assignment = np.asarray(assignment, dtype=int)
+        self._members = {}
+        for i, c in enumerate(self.assignment):
+            self._members.setdefault(int(c), []).append(i)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.centers)
+
+    def members(self, cluster_id: int) -> list:
+        """Indices of augmentations in a cluster."""
+        return list(self._members.get(cluster_id, []))
+
+    def cluster_of(self, index: int) -> int:
+        return int(self.assignment[index])
+
+    def distance(self, i: int, j: int) -> float:
+        """Chebyshev distance between augmentations ``i`` and ``j``."""
+        return chebyshev(self.vectors[i], self.vectors[j])
+
+    def radius(self, cluster_id: int) -> float:
+        """Max distance from a member to the cluster's center."""
+        center = self.centers[cluster_id]
+        return max(
+            (self.distance(center, m) for m in self.members(cluster_id)),
+            default=0.0,
+        )
+
+    def dissolve(self, cluster_id: int) -> "Clusters":
+        """Split a cluster into singletons (the P2-violation fallback)."""
+        new_centers = list(self.centers)
+        assignment = self.assignment.copy()
+        members = self.members(cluster_id)
+        center_index = self.centers[cluster_id]
+        for m in members:
+            if m == center_index:
+                continue
+            assignment[m] = len(new_centers)
+            new_centers.append(m)
+        return Clusters(self.vectors, new_centers, assignment)
+
+
+def cluster_partition(vectors: np.ndarray, epsilon: float, seed=None) -> Clusters:
+    """Greedy k-center ε-cover of profile vectors (Algorithm 2)."""
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2 or len(vectors) == 0:
+        raise ValueError(f"vectors must be a non-empty 2-D array, got {vectors.shape}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    rng = ensure_rng(seed)
+    n = len(vectors)
+
+    centers = [int(rng.integers(0, n))]
+    # dist_to_center[i] = Chebyshev distance from i to its nearest center.
+    dist = np.max(np.abs(vectors - vectors[centers[0]]), axis=1)
+    assignment = np.zeros(n, dtype=int)
+
+    while True:
+        farthest = int(np.argmax(dist))
+        if dist[farthest] <= epsilon:
+            break
+        centers.append(farthest)
+        new_dist = np.max(np.abs(vectors - vectors[farthest]), axis=1)
+        closer = new_dist < dist
+        assignment[closer] = len(centers) - 1
+        dist = np.where(closer, new_dist, dist)
+    return Clusters(vectors, centers, assignment)
+
+
+def singleton_clusters(vectors: np.ndarray) -> Clusters:
+    """Every augmentation its own cluster — the *Nc* variant."""
+    vectors = np.asarray(vectors, dtype=float)
+    n = len(vectors)
+    return Clusters(vectors, list(range(n)), np.arange(n))

@@ -1,0 +1,78 @@
+"""Cluster-homogeneity validation (the P2 fallback, §IV-B).
+
+A cluster is *homogeneous* when most members' utility gains sit within a
+(1+ε)-factor band of the cluster's mean gain.  Two modes:
+
+* **lazy** — judge from the gains the search has already paid for (at
+  least two observed members required); no extra queries.
+* **active** — the paper's procedure: query ⌈log|C|⌉ random members of the
+  cluster on top of ``Din`` and test the band on those.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.clustering import Clusters
+from repro.core.querying import QueryBudgetExhausted, QueryEngine
+from repro.utils.rng import ensure_rng
+
+
+def _band_holds(gains, epsilon: float) -> bool:
+    """Majority of gains within a (1+ε)-approximation of the mean gain.
+
+    A small absolute slack (0.02 utility) keeps near-zero gains from
+    failing on measurement noise alone.
+    """
+    gains = np.asarray(list(gains), dtype=float)
+    if len(gains) < 2:
+        return True
+    mean = float(np.abs(gains).mean())
+    tolerance = max(epsilon * mean, 0.02)
+    within = np.abs(np.abs(gains) - mean) <= tolerance
+    return bool(within.sum() * 2 > len(gains))
+
+
+def check_cluster_homogeneity(
+    clusters: Clusters,
+    cluster_id: int,
+    engine: QueryEngine,
+    index_to_id,
+    base_utility: float,
+    epsilon: float,
+    mode: str = "lazy",
+    observed_gains=None,
+    seed=None,
+) -> bool:
+    """True when the cluster looks homogeneous (P2 plausible).
+
+    ``index_to_id`` maps candidate indices to augmentation ids;
+    ``observed_gains`` (lazy mode) maps indices to known gains.
+    """
+    members = clusters.members(cluster_id)
+    if len(members) < 2:
+        return True
+
+    if mode == "lazy":
+        gains = [
+            observed_gains[m]
+            for m in members
+            if observed_gains is not None and m in observed_gains
+        ]
+        return _band_holds(gains, epsilon) if len(gains) >= 2 else True
+
+    # Active mode: spend log|C| queries on random members.
+    rng = ensure_rng(seed)
+    n_samples = min(len(members), max(2, math.ceil(math.log(max(2, clusters.n_clusters)))))
+    picks = rng.choice(len(members), size=n_samples, replace=False)
+    gains = []
+    for p in picks:
+        member = members[int(p)]
+        try:
+            value = engine.utility(frozenset({index_to_id[member]}))
+        except QueryBudgetExhausted:
+            break
+        gains.append(value - base_utility)
+    return _band_holds(gains, epsilon) if len(gains) >= 2 else True

@@ -1,0 +1,29 @@
+"""IDENTIFY-MINIMAL: prune the solution to a minimal set (Definition 6)."""
+
+from __future__ import annotations
+
+from repro.core.querying import QueryBudgetExhausted, QueryEngine
+
+
+def identify_minimal(solution, engine: QueryEngine, theta: float) -> list:
+    """Drop augmentations whose removal keeps utility ≥ θ.
+
+    Iterates the solution (earliest-added first, so cheap early picks are
+    re-examined once later, stronger picks are in); each removal test is a
+    query.  Returns the pruned solution in original order.  If the budget
+    runs out mid-pruning, the best-known valid solution is returned.
+    """
+    kept = list(solution)
+    if len(kept) <= 1:
+        return kept
+    for aug_id in list(kept):
+        trial = [a for a in kept if a != aug_id]
+        if not trial:
+            break
+        try:
+            value = engine.utility(frozenset(trial))
+        except QueryBudgetExhausted:
+            break
+        if value >= theta:
+            kept = trial
+    return kept

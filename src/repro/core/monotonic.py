@@ -1,0 +1,54 @@
+"""MONOTONICITY CERTIFICATION (P3): accept only utility-improving adds.
+
+Both METAM and the greedy baselines grow their solution through this
+state object: an augmentation that does not improve utility on top of the
+current solution is rejected (its query still counts), which makes any
+task's effective utility monotone — the wrapper the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.querying import QueryEngine
+
+
+class MonotoneState:
+    """The current accepted solution and its certified utility."""
+
+    def __init__(self, engine: QueryEngine):
+        self.engine = engine
+        self.selected = []
+        self.utility = engine.base_utility()
+        self.rejections = 0
+
+    @property
+    def selected_set(self) -> frozenset:
+        return frozenset(self.selected)
+
+    def utility_with(self, aug_id: str) -> float:
+        """Query utility of the current solution plus one augmentation."""
+        return self.engine.utility(self.selected_set | {aug_id})
+
+    def try_add(self, aug_id: str):
+        """Accept ``aug_id`` iff it strictly improves utility.
+
+        Returns ``(accepted, utility_with_aug)``.
+        """
+        if aug_id in self.selected_set:
+            return False, self.utility
+        value = self.utility_with(aug_id)
+        if value > self.utility:
+            self.selected.append(aug_id)
+            self.utility = value
+            return True, value
+        self.rejections += 1
+        return False, value
+
+    def accept(self, aug_id: str, utility: float) -> None:
+        """Record an externally-verified improving augmentation."""
+        if utility <= self.utility:
+            raise ValueError(
+                f"accept() requires an improving utility "
+                f"({utility} <= {self.utility})"
+            )
+        self.selected.append(aug_id)
+        self.utility = utility

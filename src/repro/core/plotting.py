@@ -1,0 +1,71 @@
+"""Terminal rendering of utility-vs-queries traces (the paper's figures).
+
+The benchmark harness and examples are terminal-first, so the figures are
+rendered as ASCII line charts: one glyph per searcher, utility on the y
+axis, queries on the x axis.
+"""
+
+from __future__ import annotations
+
+_GLYPHS = "*o+x#@%&"
+
+
+def render_traces(
+    results: dict,
+    width: int = 64,
+    height: int = 16,
+    max_queries: int = None,
+) -> str:
+    """Render ``{name: SearchResult}`` as an ASCII chart.
+
+    Each searcher's best-so-far utility curve is drawn with its own glyph;
+    the legend maps glyphs to searcher names.
+    """
+    if not results:
+        raise ValueError("no results to render")
+    if max_queries is None:
+        max_queries = max(
+            (result.trace[-1][0] for result in results.values() if result.trace),
+            default=1,
+        )
+    max_queries = max(1, max_queries)
+
+    lows = [r.base_utility for r in results.values()]
+    highs = [r.utility_at(max_queries) for r in results.values()]
+    y_min = max(0.0, min(lows) - 0.05)
+    y_max = min(1.0, max(highs) + 0.05)
+    if y_max <= y_min:
+        y_max = y_min + 0.1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(queries, value):
+        col = min(width - 1, int(queries / max_queries * (width - 1)))
+        rel = (value - y_min) / (y_max - y_min)
+        row = height - 1 - min(height - 1, max(0, int(rel * (height - 1))))
+        return row, col
+
+    for glyph, (name, result) in zip(_GLYPHS, results.items()):
+        for col in range(width):
+            queries = int(round(col / (width - 1) * max_queries))
+            value = result.utility_at(max(1, queries))
+            row, _ = to_cell(queries, value)
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:4.2f} |"
+        elif i == height - 1:
+            label = f"{y_min:4.2f} |"
+        else:
+            label = "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{'queries':^{width - 12}}{max_queries:>10}")
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, results.keys())
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Query accounting: the shared oracle every searcher talks to.
+
+A *query* (Definition 5's "query" notion) is one evaluation of the task's
+utility on an augmented table.  The engine memoizes by augmentation set, so
+re-evaluating a known set is free — exactly how the paper counts queries —
+and it records the best-utility-so-far trace that Figures 3-5/7 plot.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe.table import Table
+
+
+class QueryBudgetExhausted(Exception):
+    """Raised when the engine's query budget is spent."""
+
+
+class QueryEngine:
+    """Evaluates task utility on ``Din`` + a set of augmentations.
+
+    Parameters
+    ----------
+    task:
+        The downstream task (black box).
+    base:
+        The input dataset ``Din``.
+    corpus:
+        Repository tables by name (needed to materialize augmentations).
+    candidates:
+        Iterable of :class:`~repro.discovery.candidates.Candidate`; the
+        engine indexes them by ``aug_id``.
+    budget:
+        Optional hard query cap; exceeding it raises
+        :class:`QueryBudgetExhausted`.
+    """
+
+    def __init__(self, task, base: Table, corpus: dict, candidates, budget=None):
+        self.task = task
+        self.base = base
+        self.corpus = corpus
+        self.budget = budget
+        self._by_id = {c.aug_id: c for c in candidates}
+        self._cache = {}
+        self.queries = 0
+        self.trace = []
+        self._best = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def candidate_ids(self) -> list:
+        return list(self._by_id)
+
+    def candidate(self, aug_id: str):
+        if aug_id not in self._by_id:
+            raise KeyError(f"unknown augmentation {aug_id!r}")
+        return self._by_id[aug_id]
+
+    def remaining_budget(self):
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.queries)
+
+    # ------------------------------------------------------------------
+    def _build_table(self, aug_ids: frozenset) -> Table:
+        table = self.base
+        for aug_id in sorted(aug_ids):
+            candidate = self.candidate(aug_id)
+            table = candidate.aug.apply(table, self.base, self.corpus)
+        return table
+
+    def utility(self, aug_ids=()) -> float:
+        """Utility of ``Din`` augmented with ``aug_ids`` (cached)."""
+        key = frozenset(aug_ids)
+        if key in self._cache:
+            return self._cache[key]
+        if self.budget is not None and self.queries >= self.budget:
+            raise QueryBudgetExhausted(
+                f"query budget of {self.budget} exhausted"
+            )
+        value = float(self.task.utility(self._build_table(key)))
+        self.queries += 1
+        self._cache[key] = value
+        self._best = max(self._best, value)
+        self.trace.append((self.queries, self._best))
+        return value
+
+    def base_utility(self) -> float:
+        """Utility of the unaugmented input dataset."""
+        return self.utility(frozenset())
+
+    @property
+    def best_utility(self) -> float:
+        """Best utility seen across all queries so far."""
+        return self._best
+
+    def utility_at(self, n_queries: int) -> float:
+        """Best utility achieved within the first ``n_queries`` queries."""
+        best = 0.0
+        for step, value in self.trace:
+            if step > n_queries:
+                break
+            best = value
+        return best

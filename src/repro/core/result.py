@@ -1,0 +1,58 @@
+"""Search result shared by METAM and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a goal-oriented discovery run.
+
+    Attributes
+    ----------
+    searcher:
+        Name of the strategy that produced this result.
+    selected:
+        Augmentation ids of the final (minimal, if enabled) solution.
+    utility:
+        Utility of ``Din`` augmented with ``selected``.
+    base_utility:
+        Utility of the unaugmented input.
+    queries:
+        Total utility-function queries spent.
+    trace:
+        ``(query_index, best_utility_so_far)`` pairs — the figure axes.
+    extras:
+        Searcher-specific diagnostics (profile weights, cluster counts…).
+    """
+
+    searcher: str
+    selected: list
+    utility: float
+    base_utility: float
+    queries: int
+    trace: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def gain(self) -> float:
+        """Utility improvement over the unaugmented input."""
+        return self.utility - self.base_utility
+
+    def utility_at(self, n_queries: int) -> float:
+        """Best utility within the first ``n_queries`` queries."""
+        best = self.base_utility
+        for step, value in self.trace:
+            if step > n_queries:
+                break
+            best = max(best, value)
+        return best
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.searcher}: utility {self.base_utility:.3f} → "
+            f"{self.utility:.3f} with {len(self.selected)} augmentation(s) "
+            f"in {self.queries} queries"
+        )

@@ -1,0 +1,125 @@
+"""Experiment orchestration: multi-seed comparisons with shared accounting.
+
+The benchmark files and the CLI both need the same loop — run METAM and a
+set of baselines over one scenario for several seeds, average the
+utility-vs-queries curves, and summarize — so it lives here with tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.arda import IArdaSearcher
+from repro.baselines.mw import MultiplicativeWeightsSearcher
+from repro.baselines.overlap_ranking import OverlapSearcher
+from repro.baselines.uniform import UniformSearcher
+from repro.core.config import MetamConfig
+from repro.core.metam import Metam
+from repro.pipeline import prepare_candidates
+
+_BASELINES = {
+    "mw": MultiplicativeWeightsSearcher,
+    "overlap": OverlapSearcher,
+    "uniform": UniformSearcher,
+}
+
+
+@dataclass
+class ComparisonReport:
+    """Averaged outcome of a multi-seed searcher comparison."""
+
+    query_points: tuple
+    curves: dict = field(default_factory=dict)   # name -> [mean utility]
+    final: dict = field(default_factory=dict)    # name -> mean final utility
+    runs: list = field(default_factory=list)     # per-seed {name: SearchResult}
+
+    def winner_at(self, query_index: int) -> str:
+        """Searcher with the best mean utility at a query point."""
+        if query_index not in self.query_points:
+            raise ValueError(
+                f"{query_index} not in query points {self.query_points}"
+            )
+        position = self.query_points.index(query_index)
+        return max(self.curves, key=lambda name: self.curves[name][position])
+
+    def table(self) -> str:
+        """Formatted utility-vs-queries table."""
+        lines = [
+            "searcher    "
+            + "".join(f"{q:>8}" for q in self.query_points)
+        ]
+        for name, values in self.curves.items():
+            lines.append(
+                f"{name:12s}" + "".join(f"{v:8.3f}" for v in values)
+            )
+        return "\n".join(lines)
+
+
+def compare_searchers(
+    scenario,
+    budget: int = 150,
+    theta: float = 1.0,
+    epsilon: float = 0.1,
+    seeds=(0,),
+    baselines=("mw", "overlap", "uniform"),
+    query_points=(10, 25, 50, 100, 150),
+    iarda_target: str = None,
+    iarda_mode: str = "classification",
+    metam_config: MetamConfig = None,
+) -> ComparisonReport:
+    """Run METAM + baselines over ``seeds`` and average the curves."""
+    unknown = [b for b in baselines if b not in _BASELINES and b != "iarda"]
+    if unknown:
+        raise ValueError(f"unknown baselines: {unknown}")
+    runs = []
+    for seed in seeds:
+        candidates = prepare_candidates(scenario.base, scenario.corpus, seed=seed)
+        config = metam_config or MetamConfig(
+            theta=theta, query_budget=budget, epsilon=epsilon, seed=seed
+        )
+        per_seed = {
+            "metam": Metam(
+                candidates, scenario.base, scenario.corpus, scenario.task, config
+            ).run()
+        }
+        for name in baselines:
+            if name == "iarda":
+                if iarda_target is None:
+                    raise ValueError("iarda baseline needs iarda_target")
+                searcher = IArdaSearcher(
+                    candidates,
+                    scenario.base,
+                    scenario.corpus,
+                    scenario.task,
+                    target_column=iarda_target,
+                    mode=iarda_mode,
+                    theta=theta,
+                    query_budget=budget,
+                    seed=seed,
+                )
+            else:
+                searcher = _BASELINES[name](
+                    candidates,
+                    scenario.base,
+                    scenario.corpus,
+                    scenario.task,
+                    theta=theta,
+                    query_budget=budget,
+                    seed=seed,
+                )
+            per_seed[name] = searcher.run()
+        runs.append(per_seed)
+
+    report = ComparisonReport(query_points=tuple(query_points), runs=runs)
+    for name in runs[0]:
+        curve = [
+            float(np.mean([run[name].utility_at(q) for run in runs]))
+            for q in query_points
+        ]
+        report.curves[name] = curve
+        report.final[name] = float(
+            np.mean([run[name].utility for run in runs])
+        )
+    return report

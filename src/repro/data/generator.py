@@ -1,0 +1,188 @@
+"""Low-level repository construction: relevant/irrelevant/erroneous tables.
+
+The builder mimics the structure of city open-data portals: many small
+tables keyed by a shared identifier (zipcode, school id, …).  Three
+candidate classes mirror §VI-C's robustness experiment:
+
+* **relevant** — a column carrying signal about the scenario's latent
+  state, correctly keyed;
+* **irrelevant** — correctly keyed but statistically independent noise;
+* **erroneous** — a signal column whose key column is shuffled, i.e., the
+  incorrect joins that make up ~60% of real discovered candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.utils.rng import ensure_rng
+
+# Realistic open-data vocabulary for irrelevant distractor tables.
+_DISTRACTOR_THEMES = [
+    ("street_trees", "tree_count"),
+    ("film_permits", "permit_count"),
+    ("noise_complaints", "complaint_count"),
+    ("bike_racks", "rack_count"),
+    ("wifi_hotspots", "hotspot_count"),
+    ("fire_hydrants", "hydrant_count"),
+    ("food_trucks", "truck_count"),
+    ("parking_meters", "meter_count"),
+    ("pothole_reports", "report_count"),
+    ("recycling_bins", "bin_count"),
+    ("dog_licenses", "license_count"),
+    ("graffiti_sites", "site_count"),
+    ("street_lights", "light_count"),
+    ("water_fountains", "fountain_count"),
+    ("bus_shelters", "shelter_count"),
+    ("event_permits", "event_count"),
+]
+
+
+def make_keys(n: int, prefix: str = "key", start: int = 10000) -> list:
+    """Deterministic string join keys, e.g. zipcodes or school ids."""
+    return [f"{prefix}{start + i}" for i in range(n)]
+
+
+class RepositoryBuilder:
+    """Accumulates repository tables around a shared key population."""
+
+    def __init__(self, keys, key_column: str = "key", source: str = "open-data", seed=0):
+        self.keys = list(keys)
+        self.key_column = key_column
+        self.source = source
+        self._rng = ensure_rng(seed)
+        self._tables = {}
+        self._theme_cursor = 0
+
+    # ------------------------------------------------------------------
+    def _unique_name(self, name: str) -> str:
+        out = name
+        counter = 2
+        while out in self._tables:
+            out = f"{name}_{counter}"
+            counter += 1
+        return out
+
+    def _coverage_rows(self, coverage: float) -> list:
+        """Row indices for a table covering a fraction of the keys."""
+        n = len(self.keys)
+        kept = max(2, int(round(coverage * n)))
+        if kept >= n:
+            return list(range(n))
+        picks = self._rng.choice(n, size=kept, replace=False)
+        return sorted(int(i) for i in picks)
+
+    def add_table(self, name: str, columns: dict, key_column=None, coverage: float = 1.0) -> Table:
+        """Add a table keyed by this builder's key population.
+
+        ``coverage`` < 1 keeps only a random key subset, which is what
+        makes the *overlap* profile vary across candidates like it does in
+        real portals (Overlap-ranking would otherwise be degenerate).
+        """
+        key_column = key_column or self.key_column
+        name = self._unique_name(name)
+        rows = self._coverage_rows(coverage)
+        cols = {key_column: [self.keys[i] for i in rows]}
+        for col_name, values in columns.items():
+            values = list(values)
+            if len(values) != len(self.keys):
+                raise ValueError(
+                    f"{len(values)} values for {len(self.keys)} keys in {name!r}"
+                )
+            cols[col_name] = [values[i] for i in rows]
+        table = Table(name, cols, source=self.source)
+        self._tables[name] = table
+        return table
+
+    def add_relevant(self, name: str, column: str, values, coverage: float = None) -> Table:
+        """A correctly-keyed table whose column carries scenario signal.
+
+        Default coverage is drawn from [0.6, 0.9]: useful open-data tables
+        rarely cover the whole key population.
+        """
+        if coverage is None:
+            coverage = float(self._rng.uniform(0.6, 0.9))
+        return self.add_table(name, {column: list(values)}, coverage=coverage)
+
+    def add_irrelevant(self, count: int, coverage_range=(0.5, 1.0)) -> list:
+        """Correctly-keyed tables with independent noise columns."""
+        tables = []
+        for i in range(count):
+            theme, column = _DISTRACTOR_THEMES[
+                self._theme_cursor % len(_DISTRACTOR_THEMES)
+            ]
+            self._theme_cursor += 1
+            values = self._rng.normal(
+                loc=float(self._rng.uniform(10, 100)),
+                scale=float(self._rng.uniform(1, 10)),
+                size=len(self.keys),
+            ).tolist()
+            suffix = "" if i < len(_DISTRACTOR_THEMES) else f"_{i}"
+            coverage = float(self._rng.uniform(*coverage_range))
+            tables.append(
+                self.add_table(f"{theme}{suffix}", {column: values}, coverage=coverage)
+            )
+        return tables
+
+    def add_traps(self, count: int, decoy_values, coverage: float = 1.0) -> list:
+        """Tables correlated with a *base feature* but useless for the task.
+
+        ``decoy_values`` is a base-table feature (aligned with the keys);
+        trap columns are noisy copies of it.  Traps have high correlation
+        and MI profiles against ``Din`` yet zero utility gain — the
+        profile-noise regime where single-profile rankings (Overlap, a
+        dominant MW expert) follow the profile into dead ends.
+        """
+        decoy = np.asarray(list(decoy_values), dtype=float)
+        if len(decoy) != len(self.keys):
+            raise ValueError(
+                f"{len(decoy)} decoy values for {len(self.keys)} keys"
+            )
+        scale = float(decoy.std()) or 1.0
+        tables = []
+        for i in range(count):
+            noisy = decoy + self._rng.normal(scale=0.3 * scale, size=len(decoy))
+            tables.append(
+                self.add_table(
+                    f"lookalike_{i}", {f"shadow_metric_{i}": noisy.tolist()},
+                    coverage=coverage,
+                )
+            )
+        return tables
+
+    def add_erroneous(self, count: int, signal_values=None, coverage: float = 1.0) -> list:
+        """Tables whose key column is shuffled — incorrect joins.
+
+        If ``signal_values`` is given the column would have been useful had
+        the join been correct, matching the paper's "incorrect join due to
+        incorrect key" failure mode.  Full default coverage makes these
+        candidates look *best* to overlap ranking — the paper's trap.
+        """
+        tables = []
+        for i in range(count):
+            if signal_values is not None:
+                values = list(signal_values)
+            else:
+                values = self._rng.normal(size=len(self.keys)).tolist()
+            rows = self._coverage_rows(coverage)
+            shuffled = list(rows)
+            self._rng.shuffle(shuffled)
+            name = self._unique_name(f"misjoined_{i}")
+            # Built directly (not via add_table) so keys stay shuffled
+            # relative to the value column.
+            table = Table(
+                name,
+                {
+                    self.key_column: [self.keys[i] for i in shuffled],
+                    f"badcol_{i}": [values[i] for i in rows],
+                },
+                source=self.source,
+            )
+            self._tables[name] = table
+            tables.append(table)
+        return tables
+
+    def build(self) -> dict:
+        """Snapshot of the repository as a name → Table mapping."""
+        return dict(self._tables)

@@ -1,0 +1,40 @@
+"""CSV read/write for :class:`~repro.dataframe.table.Table`."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.dataframe.table import Table
+
+
+def read_csv(path: str, name=None, source: str = "") -> Table:
+    """Load a CSV file into a Table; empty cells become missing (None)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        return Table.empty(name or os.path.basename(path), source=source)
+    header, *body = rows
+    width = len(header)
+    cells = []
+    for row in body:
+        padded = list(row) + [None] * (width - len(row))
+        cells.append([None if v == "" else v for v in padded[:width]])
+    return Table.from_rows(
+        name or os.path.splitext(os.path.basename(path))[0],
+        header,
+        cells,
+        source=source,
+    )
+
+
+def write_csv(table: Table, path: str) -> None:
+    """Write a Table to CSV; missing cells become empty strings."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow(
+                ["" if row[c] is None else row[c] for c in table.column_names]
+            )

@@ -1,0 +1,156 @@
+"""Relational operations over :class:`~repro.dataframe.table.Table`.
+
+Joins are hash joins on string-normalized keys.  A left join with a
+one-to-many match aggregates the right side per key (mean for numeric
+columns, first value otherwise), which keeps augmented tables row-aligned
+with the input table — the semantics augmentation needs (Definition 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.dataframe.types import ColumnType, infer_column_type, is_missing
+
+
+def _key(value):
+    """Normalized join key for a cell, or None when missing."""
+    if is_missing(value):
+        return None
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value).strip().lower()
+
+
+def _aggregate(values, col_type: ColumnType):
+    """Collapse multiple matching right-side cells into one."""
+    present = [v for v in values if not is_missing(v)]
+    if not present:
+        return None
+    if col_type == ColumnType.NUMERIC:
+        return float(np.mean([float(v) for v in present]))
+    return present[0]
+
+
+def build_lookup(table: Table, key_column: str) -> dict:
+    """Map normalized key -> list of row indices in ``table``."""
+    lookup = {}
+    for i, cell in enumerate(table.column(key_column)):
+        k = _key(cell)
+        if k is None:
+            continue
+        lookup.setdefault(k, []).append(i)
+    return lookup
+
+
+def left_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    columns=None,
+    suffix: str = "",
+    name=None,
+) -> Table:
+    """Left-join ``right`` onto ``left``; unmatched rows get missing cells.
+
+    ``columns`` restricts which right-side columns are brought over
+    (default: all except the join key).  Name clashes are resolved with
+    ``suffix`` or, if empty, a ``<right.name>.`` prefix.
+    """
+    lookup = build_lookup(right, right_on)
+    bring = [c for c in (columns or right.column_names) if c != right_on]
+    out_cols = {c: list(left.column(c)) for c in left.column_names}
+
+    for col in bring:
+        cells = right.column(col)
+        col_type = infer_column_type(cells)
+        new_cells = []
+        for cell in left.column(left_on):
+            k = _key(cell)
+            rows = lookup.get(k) if k is not None else None
+            if not rows:
+                new_cells.append(None)
+            else:
+                new_cells.append(_aggregate([cells[i] for i in rows], col_type))
+        out_name = col
+        if out_name in out_cols:
+            out_name = f"{col}{suffix}" if suffix else f"{right.name}.{col}"
+        while out_name in out_cols:
+            out_name += "_"
+        out_cols[out_name] = new_cells
+
+    return Table(name or left.name, out_cols, source=left.source)
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    name=None,
+) -> Table:
+    """Inner join keeping the first right match per left row."""
+    lookup = build_lookup(right, right_on)
+    left_idx = []
+    right_idx = []
+    for i, cell in enumerate(left.column(left_on)):
+        k = _key(cell)
+        rows = lookup.get(k) if k is not None else None
+        if rows:
+            left_idx.append(i)
+            right_idx.append(rows[0])
+
+    out_cols = {
+        c: [left.column(c)[i] for i in left_idx] for c in left.column_names
+    }
+    for col in right.column_names:
+        if col == right_on:
+            continue
+        out_name = col if col not in out_cols else f"{right.name}.{col}"
+        while out_name in out_cols:
+            out_name += "_"
+        out_cols[out_name] = [right.column(col)[i] for i in right_idx]
+    return Table(name or f"{left.name}⋈{right.name}", out_cols, source=left.source)
+
+
+def join_overlap(left: Table, right: Table, left_on: str, right_on: str) -> int:
+    """Number of left rows that find at least one right match (cardinality
+    of the augmented dataset — the paper's *dataset overlap* profile)."""
+    keys = {k for k in (_key(v) for v in right.column(right_on)) if k is not None}
+    return sum(1 for v in left.column(left_on) if _key(v) in keys)
+
+
+def union_tables(top: Table, bottom: Table, name=None) -> Table:
+    """Union (row addition) of two tables over their shared columns.
+
+    Columns present in only one table are kept and padded with missing
+    cells, mirroring the open-data union-search setting of [15].
+    """
+    all_cols = list(top.column_names)
+    for c in bottom.column_names:
+        if c not in all_cols:
+            all_cols.append(c)
+    cols = {}
+    for c in all_cols:
+        upper = list(top.column(c)) if c in top else [None] * top.num_rows
+        lower = list(bottom.column(c)) if c in bottom else [None] * bottom.num_rows
+        cols[c] = upper + lower
+    return Table(name or f"{top.name}∪{bottom.name}", cols, source=top.source)
+
+
+def concat_columns(base: Table, extra: Table, name=None) -> Table:
+    """Column-wise concatenation of two row-aligned tables."""
+    if base.num_rows != extra.num_rows:
+        raise ValueError(
+            f"row mismatch: {base.num_rows} vs {extra.num_rows} "
+            f"({base.name!r}, {extra.name!r})"
+        )
+    cols = {c: list(base.column(c)) for c in base.column_names}
+    for c in extra.column_names:
+        out = c
+        while out in cols:
+            out = f"{extra.name}.{out}"
+        cols[out] = list(extra.column(c))
+    return Table(name or base.name, cols, source=base.source)

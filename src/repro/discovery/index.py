@@ -1,0 +1,120 @@
+"""The discovery index: joinable-column lookup over a table repository.
+
+This is our Aurum substitute.  Every indexed column gets a MinHash
+signature inserted into an LSH index; a *joinable* query returns columns
+whose LSH buckets collide and whose verified containment passes a
+threshold.  Like Aurum, the output is noisy: semantically wrong joins with
+overlapping value domains do surface (the paper relies on this — ~60% of
+discovered candidates are erroneous in §VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataframe.table import Table
+from repro.discovery.lsh import LshIndex
+from repro.discovery.minhash import MinHasher
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (table, column) pair in the repository."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class DiscoveryIndex:
+    """Joinable-column index over a corpus of tables.
+
+    Parameters
+    ----------
+    num_perm / bands:
+        MinHash/LSH resolution (bands must divide num_perm).
+    min_containment:
+        Verified containment |Q ∩ C| / |Q| threshold for a candidate
+        column C given query column Q.
+    max_distinct:
+        Columns with more distinct values than this are still indexed but
+        sampled down (keeps signatures cheap on wide corpora).
+    """
+
+    def __init__(
+        self,
+        num_perm: int = 64,
+        bands: int = 16,
+        min_containment: float = 0.25,
+        max_distinct: int = 5000,
+        seed: int = 0,
+    ):
+        self._hasher = MinHasher(num_perm=num_perm, seed=seed)
+        self._lsh = LshIndex(num_perm=num_perm, bands=bands)
+        self.min_containment = min_containment
+        self.max_distinct = max_distinct
+        self._distinct = {}
+        self._tables = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> dict:
+        """Indexed tables by name."""
+        return dict(self._tables)
+
+    @property
+    def num_indexed_columns(self) -> int:
+        return len(self._distinct)
+
+    def add_table(self, table: Table) -> None:
+        """Index every column of ``table``."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already indexed")
+        self._tables[table.name] = table
+        for column in table.column_names:
+            ref = ColumnRef(table.name, column)
+            distinct = table.distinct_values(column)
+            if len(distinct) > self.max_distinct:
+                distinct = set(sorted(distinct)[: self.max_distinct])
+            self._distinct[ref] = distinct
+            self._lsh.insert(ref, self._hasher.signature(distinct))
+
+    def build(self, corpus) -> "DiscoveryIndex":
+        """Index every table in ``corpus`` (iterable of Tables)."""
+        for table in corpus:
+            self.add_table(table)
+        return self
+
+    # ------------------------------------------------------------------
+    def joinable(self, table: Table, column: str, exclude_table=None) -> list:
+        """Columns joinable with ``table.column``, best-first.
+
+        Returns ``[(ColumnRef, containment)]`` with verified containment of
+        the query column's values in the candidate column, filtered by
+        ``min_containment``.  ``exclude_table`` suppresses self-joins.
+        """
+        query_values = {v.strip().lower() for v in table.distinct_values(column)}
+        if not query_values:
+            return []
+        signature = self._hasher.signature(query_values)
+        results = []
+        for ref in self._lsh.query(signature):
+            if exclude_table is not None and ref.table == exclude_table:
+                continue
+            candidate = {v.strip().lower() for v in self._distinct[ref]}
+            containment = len(query_values & candidate) / len(query_values)
+            if containment >= self.min_containment:
+                results.append((ref, containment))
+        results.sort(key=lambda item: (-item[1], str(item[0])))
+        return results
+
+    def joinable_count(self, table: Table) -> int:
+        """Number of repository columns joinable with any column of
+        ``table`` — the Table I '#Joinable Columns' statistic."""
+        seen = set()
+        for column in table.column_names:
+            for ref, _ in self.joinable(table, column, exclude_table=table.name):
+                seen.add(ref)
+        return len(seen)

@@ -1,0 +1,195 @@
+"""Join paths (Definition 3) and augmentations (Definition 4).
+
+An :class:`Augmentation` is a join path plus a single projected output
+column; materializing it yields a column row-aligned with ``Din``.  A
+:class:`UnionAugmentation` adds rows instead (the Fig. 4b setting).  Both
+expose the same ``apply`` interface METAM's query engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataframe.ops import _aggregate, _key
+from repro.dataframe.table import Table
+from repro.dataframe.types import infer_column_type, is_missing
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One hop: join the current table's ``left_column`` with
+    ``right_table.right_column``."""
+
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def __str__(self) -> str:
+        return f"{self.left_column}→{self.right_table}.{self.right_column}"
+
+
+@dataclass(frozen=True)
+class JoinPath:
+    """Ordered chain of join steps starting from ``Din``."""
+
+    steps: tuple
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a join path needs at least one step")
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    @property
+    def final_table(self) -> str:
+        return self.steps[-1].right_table
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return " ⋈ ".join(str(s) for s in self.steps)
+
+
+class Augmentation:
+    """A join path projected to one output column (Γ(Din, P[j])).
+
+    ``materialize`` walks the chain via per-hop key lookups instead of full
+    joins, returning cells aligned with the base table's rows; unmatched
+    rows are missing.  Results are cached per (base identity, row count).
+    """
+
+    def __init__(self, path: JoinPath, output_column: str):
+        self.path = path
+        self.output_column = output_column
+        self.aug_id = f"{path}#{output_column}"
+        self._cache = {}
+
+    def __repr__(self) -> str:
+        return f"Augmentation({self.aug_id!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Augmentation):
+            return NotImplemented
+        return self.aug_id == other.aug_id
+
+    def __hash__(self):
+        return hash(self.aug_id)
+
+    @property
+    def final_table(self) -> str:
+        return self.path.final_table
+
+    def materialize(self, base: Table, corpus: dict) -> list:
+        """Cells of the output column aligned with ``base`` rows."""
+        cache_key = (id(base), base.num_rows)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+
+        # keys[i] is the current join key for base row i (None = dead row).
+        first = self.path.steps[0]
+        if first.left_column not in base:
+            raise KeyError(
+                f"join column {first.left_column!r} missing from base table"
+            )
+        keys = list(base.column(first.left_column))
+
+        for hop, step in enumerate(self.path.steps):
+            right = corpus.get(step.right_table)
+            if right is None:
+                raise KeyError(f"table {step.right_table!r} not in corpus")
+            lookup = {}
+            for i, cell in enumerate(right.column(step.right_column)):
+                k = _key(cell)
+                if k is not None:
+                    lookup.setdefault(k, []).append(i)
+            is_last = hop == len(self.path.steps) - 1
+            if is_last:
+                bring = right.column(self.output_column)
+            else:
+                bring = right.column(self.path.steps[hop + 1].left_column)
+            col_type = infer_column_type(bring)
+            next_keys = []
+            for cell in keys:
+                k = _key(cell)
+                rows = lookup.get(k) if k is not None else None
+                if not rows:
+                    next_keys.append(None)
+                else:
+                    next_keys.append(_aggregate([bring[i] for i in rows], col_type))
+            keys = next_keys
+
+        self._cache[cache_key] = keys
+        return keys
+
+    def overlap_fraction(self, base: Table, corpus: dict) -> float:
+        """Fraction of base rows with a non-missing materialized value."""
+        values = self.materialize(base, corpus)
+        if not values:
+            return 0.0
+        return sum(1 for v in values if not is_missing(v)) / len(values)
+
+    def apply(self, table: Table, base: Table, corpus: dict) -> Table:
+        """Add the materialized column to ``table`` (row-aligned with base)."""
+        if table.num_rows != base.num_rows:
+            raise ValueError(
+                f"table has {table.num_rows} rows but base has {base.num_rows}; "
+                "join augmentations require row alignment"
+            )
+        if self.aug_id in table:
+            return table
+        return table.with_column(self.aug_id, self.materialize(base, corpus))
+
+
+class UnionAugmentation:
+    """Row-addition augmentation: append a union-compatible table's rows.
+
+    Only columns present in the table being augmented are appended;
+    columns the union candidate lacks are padded with missing values.
+    """
+
+    def __init__(self, table_name: str, shared_fraction: float):
+        self.table_name = table_name
+        self.shared_fraction = shared_fraction
+        self.aug_id = f"union:{table_name}"
+
+    def __repr__(self) -> str:
+        return f"UnionAugmentation({self.table_name!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, UnionAugmentation):
+            return NotImplemented
+        return self.aug_id == other.aug_id
+
+    def __hash__(self):
+        return hash(self.aug_id)
+
+    @property
+    def final_table(self) -> str:
+        return self.table_name
+
+    def materialize(self, base: Table, corpus: dict) -> list:
+        """Representative cells for profiling: the union candidate's first
+        shared column, trimmed/padded to base length."""
+        other = corpus[self.table_name]
+        shared = [c for c in base.column_names if c in other]
+        if not shared:
+            return [None] * base.num_rows
+        cells = list(other.column(shared[0]))
+        if len(cells) >= base.num_rows:
+            return cells[: base.num_rows]
+        return cells + [None] * (base.num_rows - len(cells))
+
+    def overlap_fraction(self, base: Table, corpus: dict) -> float:
+        return self.shared_fraction
+
+    def apply(self, table: Table, base: Table, corpus: dict) -> Table:
+        """Append the candidate's rows over the current table's columns."""
+        other = corpus[self.table_name]
+        new_cols = {}
+        for c in table.column_names:
+            extra = list(other.column(c)) if c in other else [None] * other.num_rows
+            new_cols[c] = list(table.column(c)) + extra
+        return Table(table.name, new_cols, source=table.source)

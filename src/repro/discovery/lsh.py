@@ -1,0 +1,58 @@
+"""Banded LSH over MinHash signatures for sub-linear candidate lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LshIndex:
+    """Split signatures into ``bands`` bands; items sharing any band bucket
+    are returned as join candidates.
+
+    With ``num_perm = bands * rows_per_band`` the standard S-curve applies:
+    more bands → higher recall, lower precision.
+    """
+
+    def __init__(self, num_perm: int = 64, bands: int = 16):
+        if num_perm % bands != 0:
+            raise ValueError(
+                f"num_perm ({num_perm}) must be divisible by bands ({bands})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows_per_band = num_perm // bands
+        self._buckets = [dict() for _ in range(bands)]
+        self._items = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _band_keys(self, signature: np.ndarray):
+        if signature.shape != (self.num_perm,):
+            raise ValueError(
+                f"signature must have shape ({self.num_perm},), got {signature.shape}"
+            )
+        for band in range(self.bands):
+            start = band * self.rows_per_band
+            yield band, tuple(signature[start : start + self.rows_per_band].tolist())
+
+    def insert(self, item, signature: np.ndarray) -> None:
+        """Index ``item`` (hashable id) under its signature."""
+        if item in self._items:
+            raise ValueError(f"item {item!r} already indexed")
+        self._items[item] = signature
+        for band, key in self._band_keys(signature):
+            self._buckets[band].setdefault(key, []).append(item)
+
+    def query(self, signature: np.ndarray) -> set:
+        """All items sharing at least one band bucket with ``signature``."""
+        out = set()
+        for band, key in self._band_keys(signature):
+            out.update(self._buckets[band].get(key, ()))
+        return out
+
+    def signature_of(self, item) -> np.ndarray:
+        """Stored signature of an indexed item."""
+        if item not in self._items:
+            raise KeyError(f"item {item!r} not indexed")
+        return self._items[item]

@@ -1,0 +1,62 @@
+"""MinHash signatures for approximate set similarity (Aurum/Lazo-style)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+_MERSENNE = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _stable_hash(value: str) -> int:
+    """Stable 32-bit hash of a string (independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+def jaccard(a: set, b: set) -> float:
+    """Exact Jaccard similarity of two sets."""
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+class MinHasher:
+    """k-permutation MinHash over string sets.
+
+    Uses the standard ``(a*h + b) mod p`` universal hash family.  The same
+    ``(num_perm, seed)`` pair always produces comparable signatures.
+    """
+
+    def __init__(self, num_perm: int = 64, seed: int = 0):
+        if num_perm < 4:
+            raise ValueError(f"num_perm must be >= 4, got {num_perm}")
+        self.num_perm = num_perm
+        rng = ensure_rng(seed)
+        self._a = rng.integers(1, _MERSENNE, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE, size=num_perm, dtype=np.uint64)
+
+    def signature(self, values) -> np.ndarray:
+        """MinHash signature (uint64 array of length ``num_perm``)."""
+        values = set(values)
+        if not values:
+            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
+        hashes = np.array([_stable_hash(str(v)) for v in values], dtype=np.uint64)
+        # (num_values, num_perm) permuted hashes, min over values.
+        permuted = (
+            hashes[:, None] * self._a[None, :] + self._b[None, :]
+        ) % np.uint64(_MERSENNE) % np.uint64(_MAX_HASH + 1)
+        return permuted.min(axis=0)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Estimated Jaccard = fraction of matching signature slots."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError(
+                f"signature shape mismatch: {sig_a.shape} vs {sig_b.shape}"
+            )
+        return float(np.mean(sig_a == sig_b))

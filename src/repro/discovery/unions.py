@@ -1,0 +1,34 @@
+"""Table-union search: row-addition candidates (Nargesian et al. [15])."""
+
+from __future__ import annotations
+
+from repro.dataframe.table import Table
+from repro.discovery.join_path import UnionAugmentation
+
+
+def find_union_candidates(
+    base: Table,
+    corpus: dict,
+    min_shared: float = 0.5,
+) -> list:
+    """Tables whose schemas overlap ``base`` enough to union with it.
+
+    ``min_shared`` is the minimum fraction of base columns that must appear
+    (by name) in the candidate.  Returns :class:`UnionAugmentation` objects
+    sorted by decreasing schema overlap.
+    """
+    if not 0.0 < min_shared <= 1.0:
+        raise ValueError(f"min_shared must be in (0, 1], got {min_shared}")
+    base_cols = set(base.column_names)
+    if not base_cols:
+        return []
+    out = []
+    for name, table in corpus.items():
+        if name == base.name:
+            continue
+        shared = base_cols & set(table.column_names)
+        fraction = len(shared) / len(base_cols)
+        if fraction >= min_shared:
+            out.append(UnionAugmentation(name, fraction))
+    out.sort(key=lambda u: (-u.shared_fraction, u.table_name))
+    return out

@@ -1,0 +1,58 @@
+"""From-scratch ML substrate (scikit-learn substitute).
+
+Implements the models the paper's tasks rely on: CART decision trees,
+random forests (classifier and regressor), linear models, Gaussian naive
+Bayes, k-NN, k-means, the usual metrics, preprocessing, model selection,
+and a small AutoML searcher standing in for TPOT/autosklearn/PyCaret.
+"""
+
+from repro.ml.metrics import (
+    accuracy,
+    precision_recall_f1,
+    f1_score,
+    mean_absolute_error,
+    root_mean_squared_error,
+    r2_score,
+    confusion_matrix,
+)
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    Imputer,
+    prepare_features,
+)
+from repro.ml.model_selection import train_test_split, kfold_indices, cross_val_score
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import RidgeRegression, LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.kmeans import KMeans
+from repro.ml.automl import MiniAutoML
+
+__all__ = [
+    "accuracy",
+    "precision_recall_f1",
+    "f1_score",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "confusion_matrix",
+    "LabelEncoder",
+    "StandardScaler",
+    "Imputer",
+    "prepare_features",
+    "train_test_split",
+    "kfold_indices",
+    "cross_val_score",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "LogisticRegression",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "KMeans",
+    "MiniAutoML",
+]

@@ -1,0 +1,38 @@
+"""k-nearest-neighbours classifier (brute force, Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """Majority vote over the k nearest training points."""
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._x = None
+        self._y = None
+
+    def fit(self, x, y):
+        self._x = np.asarray(x, dtype=float)
+        self._y = np.asarray(y)
+        if len(self._x) != len(self._y):
+            raise ValueError(f"length mismatch: {len(self._x)} vs {len(self._y)}")
+        if len(self._x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("predict called before fit")
+        x = np.asarray(x, dtype=float)
+        k = min(self.n_neighbors, len(self._x))
+        out = []
+        for row in x:
+            dists = np.sum((self._x - row) ** 2, axis=1)
+            nearest = np.argpartition(dists, k - 1)[:k]
+            values, counts = np.unique(self._y[nearest], return_counts=True)
+            out.append(values[int(np.argmax(counts))])
+        return np.array(out)

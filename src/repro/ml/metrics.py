@@ -1,0 +1,81 @@
+"""Evaluation metrics for classification, regression and clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts matrix with rows = true label, columns = predicted label."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {lab: i for i, lab in enumerate(labels)}
+    out = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out
+
+
+def precision_recall_f1(y_true, y_pred, positive=1):
+    """Binary precision/recall/F1 treating ``positive`` as the positive class."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    tp = float(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = float(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = float(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def f1_score(y_true, y_pred, average: str = "binary", positive=1) -> float:
+    """F1 score; ``average`` is ``"binary"`` or ``"macro"``."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if average == "binary":
+        return precision_recall_f1(y_true, y_pred, positive=positive)[2]
+    if average == "macro":
+        labels = np.unique(y_true)
+        scores = [precision_recall_f1(y_true, y_pred, positive=lab)[2] for lab in labels]
+        return float(np.mean(scores)) if scores else 0.0
+    raise ValueError(f"unknown average {average!r}")
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean |error|."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(y_true.astype(float) - y_pred.astype(float))))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """sqrt(mean squared error)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true.astype(float) - y_pred.astype(float)) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0.0 when the target is constant."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    y_true = y_true.astype(float)
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    ss_res = float(np.sum((y_true - y_pred.astype(float)) ** 2))
+    return 1.0 - ss_res / ss_tot

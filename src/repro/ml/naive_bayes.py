@@ -1,0 +1,57 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianNB:
+    """Per-class Gaussian likelihoods with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_ = None
+        self._means = None
+        self._vars = None
+        self._priors = None
+
+    def fit(self, x, y):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._means = []
+        self._vars = []
+        self._priors = []
+        epsilon = self.var_smoothing * max(float(x.var()), 1e-12)
+        for cls in self.classes_:
+            rows = x[y == cls]
+            self._means.append(rows.mean(axis=0))
+            self._vars.append(rows.var(axis=0) + epsilon)
+            self._priors.append(len(rows) / len(x))
+        self._means = np.array(self._means)
+        self._vars = np.array(self._vars)
+        self._priors = np.array(self._priors)
+        return self
+
+    def _joint_log_likelihood(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.empty((len(x), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_prob = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self._vars[i])
+                + ((x - self._means[i]) ** 2) / self._vars[i],
+                axis=1,
+            )
+            out[:, i] = np.log(self._priors[i]) + log_prob
+        return out
+
+    def predict(self, x) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("predict called before fit")
+        return self.classes_[np.argmax(self._joint_log_likelihood(x), axis=1)]
+
+    def predict_proba(self, x) -> np.ndarray:
+        jll = self._joint_log_likelihood(x)
+        jll -= jll.max(axis=1, keepdims=True)
+        prob = np.exp(jll)
+        return prob / prob.sum(axis=1, keepdims=True)

@@ -1,0 +1,114 @@
+"""End-to-end convenience pipeline: the public API most users want.
+
+``prepare_candidates`` builds the discovery index, enumerates join paths,
+materializes augmentations and attaches profile vectors; ``run_metam`` and
+``run_baseline`` execute a searcher over the shared candidate set.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.arda import IArdaSearcher
+from repro.baselines.join_everything import JoinEverythingSearcher
+from repro.baselines.mw import MultiplicativeWeightsSearcher
+from repro.baselines.overlap_ranking import OverlapSearcher
+from repro.baselines.uniform import UniformSearcher
+from repro.core.config import MetamConfig
+from repro.core.metam import Metam
+from repro.core.result import SearchResult
+from repro.dataframe.table import Table
+from repro.discovery.candidates import (
+    Candidate,
+    generate_candidates,
+    materialize_candidates,
+    profile_candidates,
+)
+from repro.discovery.index import DiscoveryIndex
+from repro.discovery.unions import find_union_candidates
+from repro.profiles.registry import ProfileRegistry, default_registry
+
+_BASELINES = {
+    "mw": MultiplicativeWeightsSearcher,
+    "overlap": OverlapSearcher,
+    "uniform": UniformSearcher,
+    "iarda": IArdaSearcher,
+    "join_everything": JoinEverythingSearcher,
+}
+
+
+def prepare_candidates(
+    base: Table,
+    corpus: dict,
+    registry: ProfileRegistry = None,
+    min_containment: float = 0.3,
+    max_hops: int = 1,
+    max_fanout: int = 500,
+    include_unions: bool = False,
+    min_union_shared: float = 0.5,
+    sample_size: int = 100,
+    seed: int = 0,
+) -> list:
+    """Discovery + materialization + profiling in one call.
+
+    Returns profiled :class:`~repro.discovery.candidates.Candidate`
+    objects, the common input of METAM and every baseline.
+    """
+    registry = registry or default_registry()
+    index = DiscoveryIndex(min_containment=min_containment, seed=seed)
+    index.build(corpus.values())
+    augmentations = generate_candidates(
+        base, index, max_hops=max_hops, max_fanout=max_fanout
+    )
+    candidates = materialize_candidates(base, augmentations, corpus)
+    if include_unions:
+        for union in find_union_candidates(base, corpus, min_shared=min_union_shared):
+            candidates.append(
+                Candidate(
+                    aug=union,
+                    values=union.materialize(base, corpus),
+                    overlap=union.shared_fraction,
+                )
+            )
+    return profile_candidates(
+        candidates, base, corpus, registry, sample_size=sample_size, seed=seed
+    )
+
+
+def run_metam(
+    candidates,
+    base: Table,
+    corpus: dict,
+    task,
+    config: MetamConfig = None,
+) -> SearchResult:
+    """Run METAM over a prepared candidate set."""
+    return Metam(candidates, base, corpus, task, config).run()
+
+
+def run_baseline(
+    name: str,
+    candidates,
+    base: Table,
+    corpus: dict,
+    task,
+    theta: float = 1.0,
+    query_budget: int = 1000,
+    seed: int = 0,
+    **kwargs,
+) -> SearchResult:
+    """Run one of the named baselines (mw/overlap/uniform/iarda/
+    join_everything) over a prepared candidate set."""
+    if name not in _BASELINES:
+        raise ValueError(
+            f"unknown baseline {name!r}; choose from {sorted(_BASELINES)}"
+        )
+    searcher = _BASELINES[name](
+        candidates,
+        base,
+        corpus,
+        task,
+        theta=theta,
+        query_budget=query_budget,
+        seed=seed,
+        **kwargs,
+    )
+    return searcher.run()

@@ -1,0 +1,33 @@
+"""Data profiles (§II-C): task-independent measures of augmentations.
+
+Each profile maps a candidate augmentation to a value in [0, 1].  The
+profile *vector* is what METAM clusters (Algorithm 2) and regresses quality
+scores against.  The registry supports the paper's five default profiles,
+user-defined profiles, uninformative (random) profiles for the Fig. 9/10
+ablations, and the ARDA task-specific profile for Fig. 7.
+"""
+
+from repro.profiles.base import Profile, ProfileContext
+from repro.profiles.correlation import CorrelationProfile
+from repro.profiles.mutual_info import MutualInformationProfile
+from repro.profiles.embedding import TokenEmbedder, EmbeddingSimilarityProfile
+from repro.profiles.metadata import MetadataProfile
+from repro.profiles.overlap import OverlapProfile
+from repro.profiles.registry import ProfileRegistry, default_registry, RandomProfile
+from repro.profiles.arda import ArdaScorer, ArdaImportanceProfile
+
+__all__ = [
+    "Profile",
+    "ProfileContext",
+    "CorrelationProfile",
+    "MutualInformationProfile",
+    "TokenEmbedder",
+    "EmbeddingSimilarityProfile",
+    "MetadataProfile",
+    "OverlapProfile",
+    "ProfileRegistry",
+    "default_registry",
+    "RandomProfile",
+    "ArdaScorer",
+    "ArdaImportanceProfile",
+]

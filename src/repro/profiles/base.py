@@ -1,0 +1,107 @@
+"""Profile protocol and the context object profiles are computed from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ProfileContext:
+    """Everything a profile may inspect about one candidate augmentation.
+
+    Attributes
+    ----------
+    base:
+        The input dataset ``Din``.
+    column_name:
+        Name of the augmented column (Definition 4: one projected column).
+    column_values:
+        The augmented column's cells, row-aligned with ``base`` (missing
+        where the join found no match).
+    candidate_table:
+        The repository table the column comes from (end of the join path).
+    overlap_fraction:
+        Matched rows / base rows — cardinality of the augmented dataset
+        relative to ``Din``.
+    sample_size:
+        Profiles are estimated on a random sample of this many records
+        (the paper uses 100).
+    seed:
+        Seed for the sampling.
+    """
+
+    base: Table
+    column_name: str
+    column_values: list
+    candidate_table: Table
+    overlap_fraction: float
+    sample_size: int = 100
+    seed: int = 0
+    _sample_indices: np.ndarray = field(default=None, repr=False)
+
+    def sample_indices(self) -> np.ndarray:
+        """Row indices of the profiling sample (computed once, cached)."""
+        if self._sample_indices is None:
+            n = self.base.num_rows
+            if n <= self.sample_size:
+                self._sample_indices = np.arange(n)
+            else:
+                rng = ensure_rng(self.seed)
+                picks = rng.choice(n, size=self.sample_size, replace=False)
+                self._sample_indices = np.sort(picks)
+        return self._sample_indices
+
+    def sampled_column(self) -> np.ndarray:
+        """Augmented column as floats over the profiling sample."""
+        from repro.dataframe.types import to_float_array
+
+        values = to_float_array(self.column_values)
+        return values[self.sample_indices()]
+
+    def sampled_base_numeric(self, column: str) -> np.ndarray:
+        """A numeric base column over the same profiling sample."""
+        return self.base.numeric(column)[self.sample_indices()]
+
+    def sampled_base_encoded(self, column: str) -> np.ndarray:
+        """Any base column over the sample, encoded to floats.
+
+        Categorical columns (e.g. a class label) get deterministic codes,
+        so correlation/MI profiles can see targets too — the paper computes
+        these against *all* attributes of ``Din``.
+        """
+        return self.base.encoded(column)[self.sample_indices()]
+
+    def comparable_base_columns(self) -> list:
+        """Base columns worth correlating against: numeric ones plus
+        low-cardinality categoricals (targets, flags)."""
+        from repro.dataframe.types import ColumnType
+
+        columns = []
+        for column in self.base.column_names:
+            kind = self.base.column_type(column)
+            if kind == ColumnType.NUMERIC or kind == ColumnType.CATEGORICAL:
+                columns.append(column)
+        return columns
+
+
+class Profile:
+    """A named, task-independent property of an augmentation in [0, 1]."""
+
+    name = "profile"
+
+    def compute(self, context: ProfileContext) -> float:
+        """Return the profile value for one augmentation; must be in [0, 1]."""
+        raise NotImplementedError
+
+    def _clip(self, value: float) -> float:
+        if np.isnan(value):
+            return 0.0
+        return float(min(1.0, max(0.0, value)))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

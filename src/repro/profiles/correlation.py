@@ -1,0 +1,29 @@
+"""Correlation profile: max |Pearson r| against the base table's columns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiles.base import Profile, ProfileContext
+from repro.utils.stats import pearson
+
+
+class CorrelationProfile(Profile):
+    """Maximum absolute Pearson correlation between the augmented column
+    and any numeric attribute of ``Din``, estimated on the profiling sample.
+
+    High values mean the candidate carries signal related to the input
+    dataset — a predictor of ML feature quality (§II-C).
+    """
+
+    name = "correlation"
+
+    def compute(self, context: ProfileContext) -> float:
+        aug = context.sampled_column()
+        if np.all(np.isnan(aug)):
+            return 0.0
+        best = 0.0
+        for column in context.comparable_base_columns():
+            r = abs(pearson(context.sampled_base_encoded(column), aug))
+            best = max(best, r)
+        return self._clip(best)

@@ -1,0 +1,91 @@
+"""Semantic-embedding profile via deterministic feature-hash embeddings.
+
+Substitution note (DESIGN.md §4): the paper embeds table tokens with BERT
+and compares datasets by cosine similarity.  Offline we replace BERT with a
+per-token pseudo-embedding: a fixed-dimension Gaussian vector seeded by a
+stable hash of the token.  Tables sharing vocabulary land close together in
+this space — the property the profile actually relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.profiles.base import Profile, ProfileContext
+from repro.utils.text import tokenize
+
+
+class TokenEmbedder:
+    """Deterministic token embeddings with an embedding cache."""
+
+    def __init__(self, dim: int = 32):
+        if dim < 2:
+            raise ValueError(f"dim must be >= 2, got {dim}")
+        self.dim = dim
+        self._cache = {}
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Unit-norm Gaussian vector derived from a stable token hash."""
+        if token not in self._cache:
+            digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+            seed = int.from_bytes(digest, "big")
+            rng = np.random.default_rng(seed)
+            vec = rng.standard_normal(self.dim)
+            self._cache[token] = vec / np.linalg.norm(vec)
+        return self._cache[token]
+
+    def embed_tokens(self, tokens) -> np.ndarray:
+        """Average of token embeddings; zero vector for no tokens."""
+        tokens = list(tokens)
+        if not tokens:
+            return np.zeros(self.dim)
+        return np.mean([self.embed_token(t) for t in tokens], axis=0)
+
+    def embed_table(self, table: Table, max_cells: int = 50) -> np.ndarray:
+        """Embed a table from its name, column names, and a slice of cells.
+
+        Mirrors the paper's construction: the dataset embedding is the
+        average of the embeddings of tokens present in the table.
+        """
+        tokens = tokenize(table.name) + [
+            t for c in table.column_names for t in tokenize(c)
+        ]
+        budget = max_cells
+        for column in table.column_names:
+            if budget <= 0:
+                break
+            for cell in table.column(column)[: min(budget, 10)]:
+                tokens.extend(tokenize(cell))
+                budget -= 1
+        return self.embed_tokens(tokens)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity; 0.0 when either vector is zero."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+class EmbeddingSimilarityProfile(Profile):
+    """Cosine similarity between embeddings of ``Din`` and the candidate
+    table, shifted from [-1, 1] into [0, 1]."""
+
+    name = "semantic_embedding"
+
+    def __init__(self, embedder: TokenEmbedder = None):
+        self.embedder = embedder or TokenEmbedder()
+        self._base_cache = {}
+
+    def compute(self, context: ProfileContext) -> float:
+        base_key = id(context.base)
+        if base_key not in self._base_cache:
+            self._base_cache[base_key] = self.embedder.embed_table(context.base)
+        base_vec = self._base_cache[base_key]
+        cand_vec = self.embedder.embed_table(context.candidate_table)
+        return self._clip((cosine_similarity(base_vec, cand_vec) + 1.0) / 2.0)

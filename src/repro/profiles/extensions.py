@@ -1,0 +1,112 @@
+"""Extension profiles from §II-C's "Extending to other data profiles".
+
+The paper lists anomaly detection and fairness-style conditional checks as
+natural profile extensions, and notes developers "cast a wide net".  These
+profiles are registered like any other and exercised by the Fig. 9/10
+style ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiles.base import Profile, ProfileContext
+from repro.utils.stats import pearson, spearman
+
+
+class SpearmanProfile(Profile):
+    """Max |Spearman rank correlation| against base attributes — catches
+    monotone non-linear relationships Pearson misses."""
+
+    name = "spearman"
+
+    def compute(self, context: ProfileContext) -> float:
+        aug = context.sampled_column()
+        if np.all(np.isnan(aug)):
+            return 0.0
+        best = 0.0
+        for column in context.comparable_base_columns():
+            r = abs(spearman(context.sampled_base_encoded(column), aug))
+            best = max(best, r)
+        return self._clip(best)
+
+
+class AnomalyProfile(Profile):
+    """1 − outlier fraction of the augmented column (|z| > 3).
+
+    Columns riddled with outliers are usually erroneous joins or unit
+    mismatches; a clean column scores near 1.
+    """
+
+    name = "anomaly"
+
+    def __init__(self, z_threshold: float = 3.0):
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be > 0, got {z_threshold}")
+        self.z_threshold = z_threshold
+
+    def compute(self, context: ProfileContext) -> float:
+        aug = context.sampled_column()
+        values = aug[~np.isnan(aug)]
+        if values.size < 4:
+            return 0.0
+        # Robust z-scores (median/MAD): plain z-scores are masked by the
+        # very outliers this profile exists to count.
+        median = float(np.median(values))
+        mad = float(np.median(np.abs(values - median)))
+        if mad == 0.0:
+            return 1.0
+        z = 0.6745 * np.abs(values - median) / mad
+        return self._clip(1.0 - float(np.mean(z > self.z_threshold)))
+
+
+class CompletenessProfile(Profile):
+    """Fraction of non-missing cells in the materialized column.
+
+    Differs from the overlap profile on multi-hop paths, where a row can
+    match the first hop but miss downstream hops.
+    """
+
+    name = "completeness"
+
+    def compute(self, context: ProfileContext) -> float:
+        aug = context.sampled_column()
+        if aug.size == 0:
+            return 0.0
+        return self._clip(1.0 - float(np.mean(np.isnan(aug))))
+
+
+class FairnessProfile(Profile):
+    """1 − |corr(augmentation, sensitive attribute)| — high means usable
+    under a fairness-aware task ([24], [49])."""
+
+    name = "fairness"
+
+    def __init__(self, sensitive_column: str):
+        self.sensitive_column = sensitive_column
+
+    def compute(self, context: ProfileContext) -> float:
+        if self.sensitive_column not in context.base:
+            return 0.0
+        aug = context.sampled_column()
+        if np.all(np.isnan(aug)):
+            return 0.0
+        sensitive = context.sampled_base_encoded(self.sensitive_column)
+        return self._clip(1.0 - abs(pearson(sensitive, aug)))
+
+
+def extended_registry(sensitive_column: str = None):
+    """Default registry plus the extension profiles.
+
+    ``sensitive_column`` adds the fairness profile when given — the
+    configuration the fair-classification experiments use.
+    """
+    from repro.profiles.registry import default_registry
+
+    registry = default_registry()
+    registry.add(SpearmanProfile())
+    registry.add(AnomalyProfile())
+    registry.add(CompletenessProfile())
+    if sensitive_column is not None:
+        registry.add(FairnessProfile(sensitive_column))
+    return registry

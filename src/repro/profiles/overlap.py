@@ -1,0 +1,18 @@
+"""Dataset-overlap profile: cardinality of the augmented dataset."""
+
+from __future__ import annotations
+
+from repro.profiles.base import Profile, ProfileContext
+
+
+class OverlapProfile(Profile):
+    """Fraction of ``Din`` rows that survive the join with a value.
+
+    This is the ranking signal the Overlap baseline (S4 [14], Ver [22])
+    sorts by: joins that cover more input rows add fewer missing values.
+    """
+
+    name = "overlap"
+
+    def compute(self, context: ProfileContext) -> float:
+        return self._clip(context.overlap_fraction)

@@ -1,0 +1,71 @@
+"""Task protocol: a black box with a normalized utility score."""
+
+from __future__ import annotations
+
+from repro.dataframe.table import Table
+from repro.ml.model_selection import group_train_test_split, train_test_split
+
+
+def split_features(
+    table: Table,
+    x,
+    y,
+    group_column=None,
+    test_fraction: float = 0.3,
+    seed=None,
+):
+    """Row split for task evaluation, group-aware when requested.
+
+    When ``group_column`` names a column of ``table`` (e.g. the join key),
+    the split keeps whole groups together so per-key columns cannot leak
+    label information into the test set.
+    """
+    if group_column is not None and group_column in table:
+        return group_train_test_split(
+            x,
+            y,
+            table.column(group_column),
+            test_fraction=test_fraction,
+            seed=seed,
+        )
+    return train_test_split(x, y, test_fraction=test_fraction, seed=seed)
+
+
+def canonical_column(column_name: str) -> str:
+    """Canonical name of a possibly-augmented column.
+
+    Augmentation columns are named ``"<join path>#<output column>"``; the
+    canonical name is the output column, which scenario generators keep
+    globally unique so ground-truth membership checks are unambiguous.
+    """
+    return column_name.split("#")[-1]
+
+
+class Task:
+    """A downstream task with a utility function in [0, 1] (Definition 5).
+
+    Implementations must be deterministic given the same input table —
+    METAM's query cache and trace reproducibility rely on it.  The paper's
+    guidance applies: the utility need not be monotonic; METAM's
+    monotonicity-certification wrapper handles regressions.
+    """
+
+    name = "task"
+
+    def utility(self, table: Table) -> float:
+        """Normalized task quality when run on ``table``."""
+        raise NotImplementedError
+
+    #: Utility resolution.  Model-backed tasks report scores at two
+    #: decimals; sub-resolution fluctuations are holdout noise, and
+    #: quantizing prevents the monotone wrapper from ratcheting on it.
+    quantum = 0.0
+
+    def _clip(self, value: float) -> float:
+        value = float(min(1.0, max(0.0, value)))
+        if self.quantum > 0.0:
+            value = round(round(value / self.quantum) * self.quantum, 10)
+        return value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,32 @@
+"""Conditional-independence testing via partial correlation + Fisher z."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import fisher_z_pvalue, partial_correlation
+
+
+def fisher_z_independence(
+    data: np.ndarray,
+    i: int,
+    j: int,
+    cond: tuple = (),
+    alpha: float = 0.05,
+):
+    """Test independence of columns ``i`` and ``j`` given ``cond``.
+
+    Returns ``(independent, p_value)``; ``independent`` is True when we
+    fail to reject H0 at level ``alpha``.  Rows containing NaN in the
+    involved columns are dropped.
+    """
+    involved = [i, j, *cond]
+    sub = data[:, involved].astype(float)
+    mask = ~np.isnan(sub).any(axis=1)
+    clean = data[mask]
+    n = int(mask.sum())
+    if n < len(cond) + 4:
+        return True, 1.0
+    r = partial_correlation(clean, i, j, cond=tuple(cond))
+    p = fisher_z_pvalue(r, n, n_cond=len(cond))
+    return p > alpha, p

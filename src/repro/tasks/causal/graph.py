@@ -1,0 +1,52 @@
+"""Causal DAG wrapper used by scenario generators and assertions."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+class CausalGraph:
+    """A directed acyclic graph over named variables.
+
+    Scenario generators build one of these while synthesizing data; tasks
+    use it as ground truth (descendants for what-if, parents for how-to).
+    """
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+
+    def add_variable(self, name: str) -> "CausalGraph":
+        self._graph.add_node(name)
+        return self
+
+    def add_edge(self, cause: str, effect: str) -> "CausalGraph":
+        self._graph.add_edge(cause, effect)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(cause, effect)
+            raise ValueError(f"edge {cause!r}→{effect!r} would create a cycle")
+        return self
+
+    @property
+    def variables(self) -> list:
+        return sorted(self._graph.nodes)
+
+    def parents(self, variable: str) -> set:
+        return set(self._graph.predecessors(variable))
+
+    def children(self, variable: str) -> set:
+        return set(self._graph.successors(variable))
+
+    def descendants(self, variable: str) -> set:
+        return set(nx.descendants(self._graph, variable))
+
+    def ancestors(self, variable: str) -> set:
+        return set(nx.ancestors(self._graph, variable))
+
+    def topological_order(self) -> list:
+        return list(nx.topological_sort(self._graph))
+
+    def has_edge(self, cause: str, effect: str) -> bool:
+        return self._graph.has_edge(cause, effect)
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._graph

@@ -1,0 +1,151 @@
+"""PC edge orientation: v-structure detection plus Meek rules R1-R3.
+
+Completes the PC-lite substrate (causal-learn substitute): given the
+skeleton and the separating sets found during pruning, orient colliders
+``i → k ← j`` whenever ``k`` is outside sep(i, j), then propagate with the
+Meek rules until fixpoint.  The output is a CPDAG: a mix of directed and
+undirected (still-ambiguous) edges.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.tasks.causal.citest import fisher_z_independence
+
+
+def skeleton_with_sepsets(
+    data: np.ndarray,
+    alpha: float = 0.05,
+    max_cond: int = 1,
+):
+    """PC pruning that also records separating sets.
+
+    Returns ``(edges, sepsets)`` with ``edges`` a set of frozensets and
+    ``sepsets[{i, j}]`` the conditioning set that separated a removed pair.
+    """
+    n_vars = data.shape[1]
+    edges = {frozenset((i, j)) for i, j in combinations(range(n_vars), 2)}
+    sepsets = {}
+    for order in range(max_cond + 1):
+        for edge in sorted(edges, key=sorted):
+            i, j = sorted(edge)
+            others = [k for k in range(n_vars) if k not in (i, j)]
+            for cond in combinations(others, order):
+                independent, _p = fisher_z_independence(
+                    data, i, j, cond=cond, alpha=alpha
+                )
+                if independent:
+                    edges.discard(edge)
+                    sepsets[edge] = set(cond)
+                    break
+    return edges, sepsets
+
+
+class Cpdag:
+    """Partially directed graph: directed arcs + undirected edges."""
+
+    def __init__(self, n_vars: int):
+        self.n_vars = n_vars
+        self.directed = set()    # (i, j) meaning i -> j
+        self.undirected = set()  # frozenset({i, j})
+
+    def has_any_edge(self, i: int, j: int) -> bool:
+        return (
+            frozenset((i, j)) in self.undirected
+            or (i, j) in self.directed
+            or (j, i) in self.directed
+        )
+
+    def orient(self, i: int, j: int) -> bool:
+        """Turn an undirected edge into ``i → j``; False if impossible."""
+        edge = frozenset((i, j))
+        if edge not in self.undirected:
+            return False
+        self.undirected.discard(edge)
+        self.directed.add((i, j))
+        return True
+
+    def parents(self, j: int) -> set:
+        return {i for (i, k) in self.directed if k == j}
+
+    def neighbors_undirected(self, i: int) -> set:
+        out = set()
+        for edge in self.undirected:
+            if i in edge:
+                out |= edge - {i}
+        return out
+
+
+def orient_edges(edges, sepsets, n_vars: int) -> Cpdag:
+    """Build a CPDAG from a skeleton via v-structures + Meek R1-R3."""
+    graph = Cpdag(n_vars)
+    graph.undirected = set(edges)
+
+    # V-structures: i - k - j with i,j non-adjacent and k not in sep(i,j).
+    for i, j in combinations(range(n_vars), 2):
+        if frozenset((i, j)) in edges:
+            continue
+        sep = sepsets.get(frozenset((i, j)), set())
+        for k in range(n_vars):
+            if k in (i, j) or k in sep:
+                continue
+            if frozenset((i, k)) in edges and frozenset((j, k)) in edges:
+                graph.orient(i, k)
+                graph.orient(j, k)
+
+    # Meek rules to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        changed |= _meek_rule1(graph)
+        changed |= _meek_rule2(graph)
+        changed |= _meek_rule3(graph)
+    return graph
+
+
+def _meek_rule1(graph: Cpdag) -> bool:
+    """a → b and b - c with a,c non-adjacent  ⇒  b → c."""
+    changed = False
+    for a, b in list(graph.directed):
+        for c in list(graph.neighbors_undirected(b)):
+            if c != a and not graph.has_any_edge(a, c):
+                changed |= graph.orient(b, c)
+    return changed
+
+
+def _meek_rule2(graph: Cpdag) -> bool:
+    """a → b → c and a - c  ⇒  a → c."""
+    changed = False
+    for a, b in list(graph.directed):
+        for b2, c in list(graph.directed):
+            if b2 != b or c == a:
+                continue
+            if frozenset((a, c)) in graph.undirected:
+                changed |= graph.orient(a, c)
+    return changed
+
+
+def _meek_rule3(graph: Cpdag) -> bool:
+    """a - b, a - c, a - d, c → b, d → b, c,d non-adjacent  ⇒  a → b."""
+    changed = False
+    for b in range(graph.n_vars):
+        parents = graph.parents(b)
+        for c, d in combinations(sorted(parents), 2):
+            if graph.has_any_edge(c, d):
+                continue
+            for a in list(graph.neighbors_undirected(b)):
+                if (
+                    frozenset((a, c)) in graph.undirected
+                    and frozenset((a, d)) in graph.undirected
+                ):
+                    changed |= graph.orient(a, b)
+    return changed
+
+
+def pc_cpdag(data: np.ndarray, alpha: float = 0.05, max_cond: int = 1) -> Cpdag:
+    """Full PC: skeleton + sepsets + orientation."""
+    edges, sepsets = skeleton_with_sepsets(data, alpha=alpha, max_cond=max_cond)
+    return orient_edges(edges, sepsets, data.shape[1])

@@ -1,0 +1,23 @@
+"""Tokenization helpers used by profiles and the discovery index."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def normalize_token(token: str) -> str:
+    """Lowercase and strip a token; the canonical form used everywhere."""
+    return token.strip().lower()
+
+
+def tokenize(text: str) -> list:
+    """Split ``text`` into normalized alphanumeric tokens.
+
+    Splits on any non-alphanumeric character, so ``"taxi_trips-2019"``
+    yields ``["taxi", "trips", "2019"]``.
+    """
+    if text is None:
+        return []
+    return [normalize_token(t) for t in _TOKEN_RE.findall(str(text))]

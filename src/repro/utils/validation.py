@@ -1,0 +1,32 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value, name: str):
+    """Validate that ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value, name: str):
+    """Validate that ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_choices(value, name: str, choices):
+    """Validate that ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {sorted(choices)!r}, got {value!r}")
+    return value

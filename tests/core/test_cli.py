@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_list_scenarios_parses(self):
+        args = build_parser().parse_args(["list-scenarios"])
+        assert args.command == "list-scenarios"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "clustering"])
+        assert args.budget == 150
+        assert args.theta == 1.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "penguins"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_scenarios_output(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_clustering_fast(self, capsys, tmp_path):
+        save = str(tmp_path / "out.json")
+        code = main(
+            [
+                "run",
+                "clustering",
+                "--budget",
+                "25",
+                "--theta",
+                "0.6",
+                "--baselines",
+                "uniform",
+                "--save",
+                save,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metam" in out and "uniform" in out
+        payload = json.loads(open(save).read())
+        assert "metam" in payload
+
+    def test_run_no_baselines_no_chart(self, capsys):
+        code = main(
+            ["run", "clustering", "--budget", "20", "--theta", "0.6",
+             "--baselines", "none", "--no-chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metam" in out
+        assert "queries" in out
+
+    def test_corpus_stats(self, capsys):
+        code = main(["corpus-stats", "--tables", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#Tables" in out
+        assert "12" in out

@@ -1,0 +1,165 @@
+"""Tests for CLUSTER-PARTITION and the quality scorer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Clusters, QualityScorer, chebyshev, cluster_partition
+from repro.core.clustering import singleton_clusters
+
+
+class TestChebyshev:
+    def test_known_value(self):
+        assert chebyshev([0.0, 0.0], [0.3, 0.1]) == pytest.approx(0.3)
+
+    def test_symmetric(self):
+        a, b = np.array([0.1, 0.9]), np.array([0.4, 0.2])
+        assert chebyshev(a, b) == chebyshev(b, a)
+
+    def test_identity(self):
+        assert chebyshev([0.5], [0.5]) == 0.0
+
+
+class TestClusterPartition:
+    def test_epsilon_cover_property(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.uniform(size=(60, 3))
+        clusters = cluster_partition(vectors, 0.25, seed=0)
+        for i in range(60):
+            center = clusters.centers[clusters.cluster_of(i)]
+            assert clusters.distance(i, center) <= 0.25
+
+    def test_tight_points_one_cluster(self):
+        vectors = np.full((10, 2), 0.5) + np.linspace(0, 0.01, 10)[:, None]
+        clusters = cluster_partition(vectors, 0.1, seed=0)
+        assert clusters.n_clusters == 1
+
+    def test_spread_points_many_clusters(self):
+        vectors = np.eye(4)  # pairwise Chebyshev distance 1
+        clusters = cluster_partition(vectors, 0.5, seed=0)
+        assert clusters.n_clusters == 4
+
+    def test_smaller_epsilon_more_clusters(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.uniform(size=(80, 2))
+        small = cluster_partition(vectors, 0.05, seed=0).n_clusters
+        large = cluster_partition(vectors, 0.3, seed=0).n_clusters
+        assert small > large
+
+    def test_members_partition_everything(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.uniform(size=(40, 3))
+        clusters = cluster_partition(vectors, 0.2, seed=0)
+        seen = []
+        for c in range(clusters.n_clusters):
+            seen.extend(clusters.members(c))
+        assert sorted(seen) == list(range(40))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_partition(np.empty((0, 2)), 0.1)
+        with pytest.raises(ValueError):
+            cluster_partition(np.zeros((3, 2)), 0.0)
+
+    def test_dissolve_splits_cluster(self):
+        vectors = np.full((5, 2), 0.5)
+        clusters = cluster_partition(vectors, 0.1, seed=0)
+        assert clusters.n_clusters == 1
+        dissolved = clusters.dissolve(0)
+        assert dissolved.n_clusters == 5
+        for c in range(5):
+            assert len(dissolved.members(c)) == 1
+
+    def test_singletons(self):
+        clusters = singleton_clusters(np.zeros((7, 2)))
+        assert clusters.n_clusters == 7
+        assert clusters.cluster_of(3) == 3
+
+    @given(st.integers(5, 40), st.floats(0.05, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_cover_invariant_random(self, n, epsilon):
+        rng = np.random.default_rng(n)
+        vectors = rng.uniform(size=(n, 2))
+        clusters = cluster_partition(vectors, epsilon, seed=0)
+        radii = [clusters.radius(c) for c in range(clusters.n_clusters)]
+        assert all(r <= epsilon + 1e-9 for r in radii)
+
+
+class TestQualityScorer:
+    @pytest.fixture
+    def scorer(self):
+        vectors = np.array(
+            [
+                [0.9, 0.1],
+                [0.88, 0.12],  # same cluster as 0
+                [0.1, 0.9],
+                [0.12, 0.88],  # same cluster as 2
+            ]
+        )
+        clusters = cluster_partition(vectors, 0.1, seed=0)
+        return QualityScorer(vectors, clusters, min_fit_samples=3)
+
+    def test_initial_weights_uniform(self, scorer):
+        assert np.allclose(scorer.weights, 0.5)
+
+    def test_profile_score_is_weighted_mean(self, scorer):
+        assert scorer.profile_score(0) == pytest.approx(0.5)
+
+    def test_utility_score_zero_before_updates(self, scorer):
+        assert scorer.utility_score(0) == 0.0
+
+    def test_observed_gain_returned(self, scorer):
+        scorer.update(0, 0.3)
+        assert scorer.utility_score(0) == 0.3
+
+    def test_propagation_to_clustermate(self, scorer):
+        scorer.update(0, 0.3)
+        mate = scorer.utility_score(1)
+        assert 0.0 < mate <= 0.3  # attenuated by distance
+
+    def test_no_propagation_across_clusters(self, scorer):
+        scorer.update(0, 0.3)
+        assert scorer.utility_score(2) == 0.0
+
+    def test_disable_propagation(self, scorer):
+        scorer.update(0, 0.3)
+        cluster = scorer.clusters.cluster_of(0)
+        scorer.disable_propagation(cluster)
+        assert scorer.utility_score(1) == 0.0
+        assert scorer.utility_score(0) == 0.3  # own gain still known
+
+    def test_weights_learn_informative_profile(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.uniform(size=(30, 2))
+        scorer = QualityScorer(
+            vectors, singleton_clusters(vectors), min_fit_samples=4
+        )
+        # Gains depend only on profile 0.
+        for i in range(12):
+            scorer.update(i, float(vectors[i, 0]))
+        assert scorer.weights[0] > 0.8
+
+    def test_best_unqueried_respects_exclusions(self, scorer):
+        top = scorer.best_unqueried()
+        second = scorer.best_unqueried(excluded_indices={top})
+        assert second != top
+        none_left = scorer.best_unqueried(
+            excluded_indices=set(range(4))
+        )
+        assert none_left is None
+
+    def test_best_unqueried_excluded_clusters(self, scorer):
+        cluster0 = scorer.clusters.cluster_of(0)
+        pick = scorer.best_unqueried(excluded_clusters={cluster0})
+        assert scorer.clusters.cluster_of(pick) != cluster0
+
+    def test_constant_gains_keep_weights(self, scorer):
+        scorer.update(0, 0.1)
+        scorer.update(1, 0.1)
+        scorer.update(2, 0.1)
+        assert np.allclose(scorer.weights, 0.5)
+
+    def test_invalid_matrix(self):
+        with pytest.raises(ValueError):
+            QualityScorer(np.zeros(3), singleton_clusters(np.zeros((3, 1))))

@@ -1,0 +1,128 @@
+"""Direct tests for the cluster-homogeneity validation (P2 fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_partition
+from repro.core.homogeneity import _band_holds, check_cluster_homogeneity
+from repro.core.querying import QueryEngine
+from repro.dataframe import Table
+from repro.discovery import Candidate
+from repro.tasks.base import Task
+
+
+class TestBandHolds:
+    def test_similar_gains_homogeneous(self):
+        assert _band_holds([0.20, 0.22, 0.21], epsilon=0.05)
+
+    def test_wildly_different_gains_not_homogeneous(self):
+        assert not _band_holds([0.0, 0.0, 0.9], epsilon=0.05)
+
+    def test_single_gain_trivially_homogeneous(self):
+        assert _band_holds([0.5], epsilon=0.05)
+
+    def test_zero_gains_homogeneous(self):
+        assert _band_holds([0.0, 0.0, 0.0], epsilon=0.05)
+
+    def test_majority_rule(self):
+        # Two of three inside the band -> homogeneous.
+        assert _band_holds([0.20, 0.21, 0.25], epsilon=0.05)
+
+
+class _IdUtilityTask(Task):
+    """Utility = fixed value per single augmentation (for active mode)."""
+
+    name = "id_utility"
+
+    def __init__(self, per_aug, base=0.1):
+        self.per_aug = per_aug
+        self.base = base
+
+    def utility(self, table):
+        augs = [c for c in table.column_names if c.startswith("aug")]
+        if not augs:
+            return self.base
+        return max(self.per_aug.get(a, self.base) for a in augs)
+
+
+class _ColAug:
+    def __init__(self, aug_id):
+        self.aug_id = aug_id
+
+    def apply(self, table, base, corpus):
+        if self.aug_id in table:
+            return table
+        return table.with_column(self.aug_id, [1.0] * table.num_rows)
+
+
+class TestActiveMode:
+    def _setup(self, per_aug):
+        base = Table("b", {"x": [1, 2]})
+        ids = sorted(per_aug)
+        candidates = [
+            Candidate(aug=_ColAug(a), values=[1.0, 1.0], overlap=1.0) for a in ids
+        ]
+        engine = QueryEngine(_IdUtilityTask(per_aug), base, {}, candidates)
+        vectors = np.full((len(ids), 2), 0.5)
+        clusters = cluster_partition(vectors, 0.1, seed=0)
+        return engine, clusters, ids
+
+    def test_homogeneous_cluster_passes(self):
+        per_aug = {f"aug{i}": 0.5 for i in range(4)}
+        engine, clusters, ids = self._setup(per_aug)
+        assert check_cluster_homogeneity(
+            clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+            mode="active", seed=0,
+        )
+
+    def test_mixed_cluster_fails(self):
+        per_aug = {"aug0": 0.9, "aug1": 0.1, "aug2": 0.1, "aug3": 0.9}
+        engine, clusters, ids = self._setup(per_aug)
+        # Not guaranteed to fail for every sample, but with 4 members and
+        # 2+ samples the gains {0.0, 0.8} violate the band whenever both
+        # kinds are drawn; check over a few seeds at least one detects it.
+        detections = [
+            not check_cluster_homogeneity(
+                clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+                mode="active", seed=s,
+            )
+            for s in range(5)
+        ]
+        assert any(detections)
+
+    def test_queries_are_spent(self):
+        per_aug = {f"aug{i}": 0.5 for i in range(4)}
+        engine, clusters, ids = self._setup(per_aug)
+        before = engine.queries
+        check_cluster_homogeneity(
+            clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+            mode="active", seed=0,
+        )
+        assert engine.queries > before
+
+    def test_lazy_mode_uses_observed_gains_only(self):
+        per_aug = {f"aug{i}": 0.5 for i in range(4)}
+        engine, clusters, ids = self._setup(per_aug)
+        before = engine.queries
+        result = check_cluster_homogeneity(
+            clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+            mode="lazy", observed_gains={0: 0.4, 1: 0.42},
+        )
+        assert result
+        assert engine.queries == before  # no queries in lazy mode
+
+    def test_lazy_mode_insufficient_evidence_passes(self):
+        per_aug = {f"aug{i}": 0.5 for i in range(4)}
+        engine, clusters, ids = self._setup(per_aug)
+        assert check_cluster_homogeneity(
+            clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+            mode="lazy", observed_gains={0: 0.4},
+        )
+
+    def test_singleton_cluster_trivially_homogeneous(self):
+        per_aug = {"aug0": 0.5}
+        engine, clusters, ids = self._setup(per_aug)
+        assert check_cluster_homogeneity(
+            clusters, 0, engine, ids, base_utility=0.1, epsilon=0.05,
+            mode="active", seed=0,
+        )

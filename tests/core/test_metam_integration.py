@@ -1,0 +1,172 @@
+"""Integration tests: METAM end-to-end on synthetic scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import MetamConfig, prepare_candidates, run_metam
+from repro.core.metam import Metam
+from repro.data import clustering_scenario, housing_scenario, sat_howto_scenario
+from repro.tasks.base import canonical_column
+
+
+@pytest.fixture(scope="module")
+def housing():
+    scenario = housing_scenario(seed=0, n_irrelevant=8, n_erroneous=4, n_traps=3)
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    return scenario, candidates
+
+
+@pytest.fixture(scope="module")
+def howto():
+    scenario = sat_howto_scenario(seed=0, n_irrelevant=6, n_erroneous=3)
+    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    return scenario, candidates
+
+
+class TestMetamEndToEnd:
+    def test_improves_utility(self, housing):
+        scenario, candidates = housing
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=0.75, query_budget=120, epsilon=0.1, seed=0),
+        )
+        assert result.utility > result.base_utility + 0.1
+        assert result.queries <= 120
+
+    def test_reaches_theta_on_causal(self, howto):
+        scenario, candidates = howto
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=1.0, query_budget=200, epsilon=0.1, seed=0),
+        )
+        assert result.utility == 1.0
+        selected = {canonical_column(s) for s in result.selected}
+        assert selected <= scenario.truth_columns | {"scholarship_offer"}
+
+    def test_solution_is_minimal_on_causal(self, howto):
+        scenario, candidates = howto
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=1.0, query_budget=200, epsilon=0.1, seed=0),
+        )
+        # All three causes are needed for utility 1.0; minimality keeps 3.
+        assert len(result.selected) == 3
+
+    def test_trace_monotone_nondecreasing(self, housing):
+        scenario, candidates = housing
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=1.0, query_budget=60, epsilon=0.1, seed=0),
+        )
+        values = [v for _, v in result.trace]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_budget_respected(self, housing):
+        scenario, candidates = housing
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=1.0, query_budget=15, epsilon=0.1, seed=0),
+        )
+        assert result.queries <= 15
+
+    def test_deterministic_given_seed(self, howto):
+        scenario, candidates = howto
+        config = MetamConfig(theta=1.0, query_budget=100, epsilon=0.1, seed=3)
+        a = run_metam(candidates, scenario.base, scenario.corpus, scenario.task, config)
+        b = run_metam(candidates, scenario.base, scenario.corpus, scenario.task, config)
+        assert a.selected == b.selected
+        assert a.queries == b.queries
+
+    def test_empty_candidates_rejected(self, housing):
+        scenario, _ = housing
+        with pytest.raises(ValueError):
+            Metam([], scenario.base, scenario.corpus, scenario.task)
+
+    def test_unprofiled_candidates_rejected(self, housing):
+        scenario, candidates = housing
+        stripped = [type(c)(aug=c.aug, values=c.values, overlap=c.overlap) for c in candidates]
+        with pytest.raises(ValueError, match="profile"):
+            Metam(stripped, scenario.base, scenario.corpus, scenario.task)
+
+    def test_extras_reported(self, housing):
+        scenario, candidates = housing
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=0.7, query_budget=60, epsilon=0.1, seed=0),
+        )
+        assert result.extras["n_clusters"] >= 1
+        assert len(result.extras["profile_weights"]) == 5
+
+    def test_active_homogeneity_mode_runs(self, howto):
+        scenario, candidates = howto
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(
+                theta=1.0,
+                query_budget=250,
+                epsilon=0.1,
+                homogeneity="active",
+                seed=0,
+            ),
+        )
+        assert result.utility >= 0.6
+
+    def test_variants_run(self, howto):
+        from repro.baselines import metam_variant
+
+        scenario, candidates = howto
+        for name in ("eq", "nc", "nceq"):
+            searcher = metam_variant(
+                name,
+                candidates,
+                scenario.base,
+                scenario.corpus,
+                scenario.task,
+                MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0),
+            )
+            result = searcher.run()
+            assert result.utility >= result.base_utility
+
+    def test_unknown_variant(self, howto):
+        from repro.baselines import metam_variant
+
+        scenario, candidates = howto
+        with pytest.raises(ValueError):
+            metam_variant("fast", candidates, scenario.base, scenario.corpus, scenario.task)
+
+
+class TestMetamClusteringScenario:
+    def test_eight_candidate_scenario_fast(self):
+        scenario = clustering_scenario(seed=0)
+        candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+        result = run_metam(
+            candidates,
+            scenario.base,
+            scenario.corpus,
+            scenario.task,
+            MetamConfig(theta=0.6, query_budget=30, epsilon=0.1, seed=0),
+        )
+        assert result.utility >= 0.6
+        selected = {canonical_column(s) for s in result.selected}
+        assert "oni_score" in selected

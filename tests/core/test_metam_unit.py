@@ -1,0 +1,186 @@
+"""Unit-level METAM tests against a controllable fake utility oracle.
+
+These complement the scenario-level integration tests: with a lookup-table
+task every branch of Algorithm 1 can be forced deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Metam, MetamConfig
+from repro.dataframe import Table
+from repro.discovery import Candidate
+from repro.tasks.base import Task
+
+
+class ColumnAug:
+    def __init__(self, aug_id):
+        self.aug_id = aug_id
+
+    def apply(self, table, base, corpus):
+        if self.aug_id in table:
+            return table
+        return table.with_column(self.aug_id, [1.0] * table.num_rows)
+
+
+class LookupTask(Task):
+    """Utility keyed by the frozenset of augmented columns."""
+
+    name = "lookup"
+
+    def __init__(self, utilities, default=0.1):
+        self.utilities = {frozenset(k): v for k, v in utilities.items()}
+        self.default = default
+
+    def utility(self, table):
+        augs = frozenset(c for c in table.column_names if c.startswith("aug"))
+        return self.utilities.get(augs, self.default)
+
+
+def make_metam(utilities, profiles, config=None, default=0.1):
+    """METAM over fake candidates with given profile vectors."""
+    base = Table("b", {"x": [1.0, 2.0]})
+    candidates = [
+        Candidate(
+            aug=ColumnAug(f"aug{i}"),
+            values=[1.0, 1.0],
+            overlap=1.0,
+            profile_vector=np.asarray(vec, dtype=float),
+        )
+        for i, vec in enumerate(profiles)
+    ]
+    task = LookupTask(utilities, default=default)
+    return Metam(
+        candidates, base, {}, task, config or MetamConfig(seed=0, epsilon=0.1)
+    )
+
+
+class TestAlgorithmBranches:
+    def test_single_good_candidate_found(self):
+        utilities = {(): 0.2, ("aug0",): 0.9}
+        m = make_metam(utilities, [[0.9, 0.9], [0.1, 0.1], [0.2, 0.2]])
+        result = m.run()
+        assert result.selected == ["aug0"]
+        assert result.utility == 0.9
+
+    def test_theta_stops_early(self):
+        utilities = {(): 0.2, ("aug0",): 0.6, ("aug1",): 0.9}
+        config = MetamConfig(theta=0.5, query_budget=50, epsilon=0.1, seed=0)
+        m = make_metam(utilities, [[0.9, 0.9], [0.5, 0.5]], config)
+        result = m.run()
+        assert result.utility >= 0.5
+
+    def test_no_improving_candidate_returns_empty(self):
+        utilities = {(): 0.5}  # every augmentation defaults to 0.1 < 0.5
+        m = make_metam(utilities, [[0.9], [0.1]], default=0.1)
+        result = m.run()
+        assert result.selected == []
+        assert result.utility == 0.5
+
+    def test_group_solution_can_win(self):
+        # No single augmentation improves, but the pair does — only the
+        # combinatorial (group) mechanism can discover it.
+        utilities = {
+            (): 0.2,
+            ("aug0",): 0.2,
+            ("aug1",): 0.2,
+            ("aug0", "aug1"): 0.95,
+        }
+        config = MetamConfig(
+            theta=0.9,
+            query_budget=300,
+            epsilon=0.3,
+            group_interval=1,
+            groups_per_size=2,
+            seed=0,
+        )
+        m = make_metam(utilities, [[0.9, 0.1], [0.1, 0.9]], config, default=0.2)
+        result = m.run()
+        assert result.utility == pytest.approx(0.95)
+        assert sorted(result.selected) == ["aug0", "aug1"]
+
+    def test_minimality_prunes_redundant(self):
+        utilities = {
+            (): 0.1,
+            ("aug0",): 0.9,
+            ("aug1",): 0.3,
+            ("aug0", "aug1"): 0.9,
+        }
+        config = MetamConfig(theta=0.85, query_budget=100, epsilon=0.1, seed=0)
+        m = make_metam(utilities, [[0.9], [0.8]], config, default=0.3)
+        result = m.run()
+        assert result.selected == ["aug0"]
+
+    def test_minimality_disabled(self):
+        utilities = {
+            (): 0.1,
+            ("aug0",): 0.9,
+            ("aug0", "aug1"): 0.9,
+        }
+        config = MetamConfig(
+            theta=2.0 / 2, query_budget=100, epsilon=0.1,
+            run_minimality=False, seed=0,
+        )
+        m = make_metam(utilities, [[0.9], [0.8]], config, default=0.05)
+        result = m.run()
+        assert "aug0" in result.selected
+
+    def test_budget_one_query(self):
+        config = MetamConfig(theta=1.0, query_budget=1, epsilon=0.1, seed=0)
+        m = make_metam({(): 0.3}, [[0.5], [0.5]], config)
+        result = m.run()
+        assert result.queries <= 1
+        assert result.selected == []
+
+    def test_quality_prior_orders_first_query(self):
+        # aug2 has the dominant profile; it must be queried first.
+        utilities = {(): 0.2, ("aug2",): 0.8}
+        m = make_metam(
+            utilities, [[0.1, 0.1], [0.2, 0.2], [0.95, 0.95]],
+            MetamConfig(theta=0.7, query_budget=10, epsilon=0.05, seed=0),
+        )
+        result = m.run()
+        # Base query + aug2 query (+ maybe a group query) suffice.
+        assert result.utility == 0.8
+        assert result.queries <= 4
+
+    def test_monotone_rejections_not_selected(self):
+        utilities = {(): 0.5, ("aug0",): 0.4, ("aug1",): 0.7}
+        m = make_metam(
+            utilities, [[0.9], [0.5]],
+            MetamConfig(theta=0.65, query_budget=30, epsilon=0.1, seed=0),
+            default=0.4,
+        )
+        result = m.run()
+        assert "aug0" not in result.selected
+        assert result.utility == 0.7
+
+    def test_trace_starts_with_base(self):
+        m = make_metam({(): 0.3, ("aug0",): 0.6}, [[0.9], [0.1]])
+        result = m.run()
+        assert result.trace[0] == (1, 0.3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MetamConfig(theta=1.5)
+        with pytest.raises(ValueError):
+            MetamConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            MetamConfig(query_budget=0)
+        with pytest.raises(ValueError):
+            MetamConfig(tau=0)
+        with pytest.raises(ValueError):
+            MetamConfig(group_interval=0)
+        with pytest.raises(ValueError):
+            MetamConfig(homogeneity="sometimes")
+
+    def test_tau_one_commits_first_improvement(self):
+        utilities = {(): 0.2, ("aug0",): 0.6, ("aug1",): 0.9}
+        config = MetamConfig(
+            theta=0.55, tau=1, query_budget=20, epsilon=0.1, seed=0
+        )
+        m = make_metam(utilities, [[0.9], [0.1]], config)
+        result = m.run()
+        # With tau=1 the round commits aug0 (the prior's top pick)
+        # immediately once it improves.
+        assert result.utility >= 0.55

@@ -1,0 +1,162 @@
+"""Tests for the repository builder and scenario generators."""
+
+import pytest
+
+from repro.data import (
+    RepositoryBuilder,
+    clustering_scenario,
+    collisions_scenario,
+    entity_linking_scenario,
+    fairness_scenario,
+    housing_scenario,
+    make_keys,
+    sat_howto_scenario,
+    sat_whatif_scenario,
+    schools_scenario,
+    themed_scenario,
+    unions_scenario,
+)
+from repro.discovery import DiscoveryIndex, generate_candidates, materialize_candidates
+from repro.tasks.base import canonical_column
+
+
+class TestBuilder:
+    def test_make_keys_deterministic(self):
+        assert make_keys(3, prefix="z", start=5) == ["z5", "z6", "z7"]
+
+    def test_relevant_table_keyed(self):
+        builder = RepositoryBuilder(["a", "b"], key_column="k", seed=0)
+        table = builder.add_relevant("t", "v", [1.0, 2.0])
+        assert table.column("k") == ["a", "b"]
+        assert table.column("v") == [1.0, 2.0]
+
+    def test_relevant_length_mismatch(self):
+        builder = RepositoryBuilder(["a", "b"], seed=0)
+        with pytest.raises(ValueError):
+            builder.add_relevant("t", "v", [1.0])
+
+    def test_irrelevant_count(self):
+        builder = RepositoryBuilder(["a", "b"], seed=0)
+        assert len(builder.add_irrelevant(4)) == 4
+
+    def test_erroneous_keys_shuffled(self):
+        keys = [f"k{i}" for i in range(50)]
+        builder = RepositoryBuilder(keys, key_column="k", seed=0)
+        table = builder.add_erroneous(1, signal_values=list(range(50)))[0]
+        assert sorted(table.column("k")) == sorted(keys)
+        assert table.column("k") != keys
+
+    def test_name_collision_resolved(self):
+        builder = RepositoryBuilder(["a"], seed=0)
+        builder.add_table("t", {"x": [1]})
+        second = builder.add_table("t", {"x": [2]})
+        assert second.name == "t_2"
+        assert len(builder.build()) == 2
+
+
+ALL_SCENARIOS = [
+    housing_scenario,
+    schools_scenario,
+    collisions_scenario,
+    sat_whatif_scenario,
+    sat_howto_scenario,
+    entity_linking_scenario,
+    fairness_scenario,
+    clustering_scenario,
+]
+
+
+class TestScenarioContracts:
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_base_utility_in_unit_interval(self, factory):
+        scenario = factory(seed=0)
+        u = scenario.task.utility(scenario.base)
+        assert 0.0 <= u <= 1.0
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_truth_augmentations_discoverable(self, factory):
+        scenario = factory(seed=0)
+        index = DiscoveryIndex(min_containment=0.3, seed=0).build(
+            scenario.corpus.values()
+        )
+        augs = generate_candidates(scenario.base, index, max_hops=1)
+        candidates = materialize_candidates(scenario.base, augs, scenario.corpus)
+        found = {canonical_column(c.aug_id) for c in candidates}
+        assert scenario.truth_columns <= found
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_truth_augmentations_raise_utility(self, factory):
+        scenario = factory(seed=0)
+        index = DiscoveryIndex(min_containment=0.3, seed=0).build(
+            scenario.corpus.values()
+        )
+        augs = generate_candidates(scenario.base, index, max_hops=1)
+        candidates = materialize_candidates(scenario.base, augs, scenario.corpus)
+        table = scenario.base
+        for c in candidates:
+            if canonical_column(c.aug_id) in scenario.truth_columns:
+                table = c.aug.apply(table, scenario.base, scenario.corpus)
+        base_u = scenario.task.utility(scenario.base)
+        aug_u = scenario.task.utility(table)
+        assert aug_u > base_u + 0.05
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIOS)
+    def test_deterministic_given_seed(self, factory):
+        a = factory(seed=7)
+        b = factory(seed=7)
+        assert a.base == b.base
+        assert sorted(a.corpus) == sorted(b.corpus)
+
+
+class TestThemedScenarios:
+    @pytest.mark.parametrize("theme", ["schools", "taxi", "crime", "housing"])
+    def test_causal_theme_kind(self, theme):
+        scenario = themed_scenario(theme, seed=0)
+        assert scenario.name.endswith("causal")
+        assert scenario.truth_columns
+
+    @pytest.mark.parametrize("theme", ["pharmacy", "grocery"])
+    def test_analytics_theme_kind(self, theme):
+        scenario = themed_scenario(theme, seed=0)
+        assert scenario.name.endswith("analytics")
+
+    def test_unknown_theme(self):
+        with pytest.raises(ValueError):
+            themed_scenario("penguins")
+
+    def test_causal_truth_lift(self):
+        scenario = themed_scenario("crime", seed=0)
+        index = DiscoveryIndex(min_containment=0.3, seed=0).build(
+            scenario.corpus.values()
+        )
+        augs = generate_candidates(scenario.base, index, max_hops=1)
+        candidates = materialize_candidates(scenario.base, augs, scenario.corpus)
+        table = scenario.base
+        for c in candidates:
+            if canonical_column(c.aug_id) in scenario.truth_columns:
+                table = c.aug.apply(table, scenario.base, scenario.corpus)
+        assert scenario.task.utility(table) == 1.0
+
+
+class TestUnionsScenario:
+    def test_good_unions_improve(self):
+        from repro.discovery import find_union_candidates
+
+        scenario = unions_scenario(seed=0)
+        unions = find_union_candidates(scenario.base, scenario.corpus)
+        table = scenario.base
+        for u in unions:
+            if u.table_name in scenario.truth_columns:
+                table = u.apply(table, scenario.base, scenario.corpus)
+        assert scenario.task.utility(table) > scenario.task.utility(scenario.base)
+
+    def test_bad_unions_hurt(self):
+        from repro.discovery import find_union_candidates
+
+        scenario = unions_scenario(seed=0)
+        unions = find_union_candidates(scenario.base, scenario.corpus)
+        table = scenario.base
+        for u in unions:
+            if u.table_name not in scenario.truth_columns:
+                table = u.apply(table, scenario.base, scenario.corpus)
+        assert scenario.task.utility(table) < scenario.task.utility(scenario.base)

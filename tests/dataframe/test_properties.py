@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the dataframe substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Table, left_join, union_tables
+from repro.dataframe.ops import join_overlap
+from repro.dataframe.types import infer_column_type, to_float_array
+
+cells = st.one_of(
+    st.none(),
+    st.integers(-1000, 1000),
+    st.floats(-1e6, 1e6, allow_nan=False),
+    st.text(alphabet="abcdef ", max_size=6),
+)
+
+
+@st.composite
+def tables(draw, max_rows=8, max_cols=4):
+    n_rows = draw(st.integers(0, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    columns = {
+        f"c{i}": draw(st.lists(cells, min_size=n_rows, max_size=n_rows))
+        for i in range(n_cols)
+    }
+    return Table("t", columns)
+
+
+class TestTableProperties:
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_project_preserves_rows(self, table):
+        projected = table.project(table.column_names[:1])
+        assert projected.num_rows == table.num_rows
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_copy_equals_original(self, table):
+        assert table.copy() == table
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_to_float_array_length(self, table):
+        column = table.column_names[0]
+        assert len(to_float_array(table.column(column))) == table.num_rows
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_encoded_is_finite_or_nan(self, table):
+        column = table.column_names[0]
+        encoded = table.encoded(column)
+        assert np.all(np.isfinite(encoded) | np.isnan(encoded))
+
+    @given(tables(), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_head_bounded(self, table, n):
+        assert table.head(n).num_rows == min(n, table.num_rows)
+
+
+class TestJoinProperties:
+    @given(tables(), tables())
+    @settings(max_examples=40, deadline=None)
+    def test_left_join_preserves_left_rows(self, left, right):
+        joined = left_join(left, right, left.column_names[0], right.column_names[0])
+        assert joined.num_rows == left.num_rows
+
+    @given(tables(), tables())
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_bounded_by_left_rows(self, left, right):
+        overlap = join_overlap(
+            left, right, left.column_names[0], right.column_names[0]
+        )
+        assert 0 <= overlap <= left.num_rows
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_self_join_overlap_counts_non_missing(self, table):
+        key = table.column_names[0]
+        overlap = join_overlap(table, table, key, key)
+        non_missing = sum(
+            1 for v in table.column(key)
+            if v is not None and str(v).strip() != ""
+        )
+        assert overlap == non_missing
+
+
+class TestUnionProperties:
+    @given(tables(), tables())
+    @settings(max_examples=40, deadline=None)
+    def test_union_row_count_additive(self, top, bottom):
+        unioned = union_tables(top, bottom)
+        assert unioned.num_rows == top.num_rows + bottom.num_rows
+
+    @given(tables(), tables())
+    @settings(max_examples=40, deadline=None)
+    def test_union_schema_superset(self, top, bottom):
+        unioned = union_tables(top, bottom)
+        assert set(top.column_names) <= set(unioned.column_names)
+        assert set(bottom.column_names) <= set(unioned.column_names)
+
+
+class TestTypeInference:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_integers_are_numeric(self, values):
+        from repro.dataframe.types import ColumnType
+
+        assert infer_column_type(values) == ColumnType.NUMERIC
+
+    @given(st.lists(st.none(), min_size=1, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_all_missing_is_empty(self, values):
+        from repro.dataframe.types import ColumnType
+
+        assert infer_column_type(values) == ColumnType.EMPTY

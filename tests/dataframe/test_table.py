@@ -1,0 +1,175 @@
+"""Unit tests for the Table core."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table, ColumnType
+
+
+@pytest.fixture
+def small():
+    return Table(
+        "houses",
+        {
+            "zipcode": ["60601", "60602", "60603"],
+            "price": [100.0, 200.0, 300.0],
+            "label": ["low", "high", "high"],
+        },
+        source="test-portal",
+    )
+
+
+class TestConstruction:
+    def test_shape(self, small):
+        assert small.num_rows == 3
+        assert small.num_columns == 3
+        assert len(small) == 3
+
+    def test_column_order_preserved(self, small):
+        assert small.column_names == ["zipcode", "price", "label"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table("bad", {"a": [1, 2], "b": [1]})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table.from_rows("bad", ["a", "a"], [[1, 2]])
+
+    def test_missing_header_gets_placeholder(self):
+        t = Table("t", {None: [1, 2], "b": [3, 4]})
+        assert t.column_names == ["_col_0", "b"]
+
+    def test_empty_table(self):
+        t = Table.empty("nothing")
+        assert t.num_rows == 0
+        assert t.num_columns == 0
+
+    def test_from_rows_round_trip(self, small):
+        rebuilt = Table.from_rows(
+            "houses", small.column_names, [list(r.values()) for r in small.iter_rows()]
+        )
+        assert rebuilt.column("price") == small.column("price")
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            Table.from_rows("bad", ["a", "b"], [[1]])
+
+
+class TestAccess:
+    def test_column_access(self, small):
+        assert small.column("price") == [100.0, 200.0, 300.0]
+
+    def test_unknown_column_raises(self, small):
+        with pytest.raises(KeyError, match="nope"):
+            small.column("nope")
+
+    def test_contains(self, small):
+        assert "price" in small
+        assert "nope" not in small
+
+    def test_row(self, small):
+        assert small.row(1) == {"zipcode": "60602", "price": 200.0, "label": "high"}
+
+    def test_distinct_values(self, small):
+        assert small.distinct_values("label") == {"low", "high"}
+
+    def test_missing_fraction(self):
+        t = Table("t", {"a": [1, None, None, 4]})
+        assert t.missing_fraction("a") == 0.5
+
+    def test_missing_fraction_empty_column(self):
+        assert Table("t", {"a": []}).missing_fraction("a") == 0.0
+
+
+class TestTypes:
+    def test_numeric_inference(self, small):
+        assert small.column_type("price") == ColumnType.NUMERIC
+
+    def test_numeric_strings_are_numeric(self, small):
+        assert small.column_type("zipcode") == ColumnType.NUMERIC
+
+    def test_categorical_inference(self, small):
+        assert small.column_type("label") == ColumnType.CATEGORICAL
+
+    def test_numeric_array_with_nan(self):
+        t = Table("t", {"a": [1, None, "3"]})
+        arr = t.numeric("a")
+        assert arr[0] == 1.0
+        assert np.isnan(arr[1])
+        assert arr[2] == 3.0
+
+    def test_encoded_categorical_deterministic(self, small):
+        enc1 = small.encoded("label")
+        enc2 = small.encoded("label")
+        assert np.array_equal(enc1, enc2)
+        assert set(enc1) == {0.0, 1.0}
+
+    def test_to_matrix_shape(self, small):
+        m = small.to_matrix(["price", "label"])
+        assert m.shape == (3, 2)
+
+    def test_to_matrix_empty_columns(self, small):
+        assert small.to_matrix([]).shape == (3, 0)
+
+    def test_numeric_columns(self, small):
+        assert set(small.numeric_columns()) == {"zipcode", "price"}
+
+
+class TestTransforms:
+    def test_project(self, small):
+        p = small.project(["price"])
+        assert p.column_names == ["price"]
+        assert p.num_rows == 3
+
+    def test_project_missing_column(self, small):
+        with pytest.raises(KeyError):
+            small.project(["nope"])
+
+    def test_drop_columns(self, small):
+        d = small.drop_columns(["label"])
+        assert "label" not in d
+
+    def test_rename(self, small):
+        r = small.rename_column("price", "cost")
+        assert r.column_names == ["zipcode", "cost", "label"]
+
+    def test_rename_missing(self, small):
+        with pytest.raises(KeyError):
+            small.rename_column("nope", "x")
+
+    def test_with_column_appends(self, small):
+        t = small.with_column("tax", [1, 2, 3])
+        assert t.column("tax") == [1, 2, 3]
+        assert small.num_columns == 3  # original untouched
+
+    def test_with_column_wrong_length(self, small):
+        with pytest.raises(ValueError):
+            small.with_column("tax", [1])
+
+    def test_select_rows(self, small):
+        s = small.select_rows([2, 0])
+        assert s.column("price") == [300.0, 100.0]
+
+    def test_head(self, small):
+        assert small.head(2).num_rows == 2
+        assert small.head(10).num_rows == 3
+
+    def test_sample_rows_deterministic(self, small):
+        rng = np.random.default_rng(0)
+        s = small.sample_rows(2, rng)
+        assert s.num_rows == 2
+
+    def test_sample_rows_all(self, small):
+        rng = np.random.default_rng(0)
+        assert small.sample_rows(10, rng).num_rows == 3
+
+    def test_copy_is_independent(self, small):
+        c = small.copy()
+        c.column("price").append(999)  # mutate the copy's list
+        assert small.num_rows == 3
+        assert len(small.column("price")) == 3
+
+    def test_equality(self, small):
+        assert small == small.copy()
+        assert small != small.project(["price"])

@@ -1,0 +1,117 @@
+"""Tests for the extension profiles (§II-C extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.profiles import ProfileContext
+from repro.profiles.extensions import (
+    AnomalyProfile,
+    CompletenessProfile,
+    FairnessProfile,
+    SpearmanProfile,
+    extended_registry,
+)
+
+
+@pytest.fixture
+def base():
+    rng = np.random.default_rng(0)
+    return Table(
+        "t",
+        {
+            "age": rng.uniform(20, 70, size=150).tolist(),
+            "score": rng.normal(size=150).tolist(),
+        },
+    )
+
+
+def ctx(base, values, name="aug"):
+    return ProfileContext(
+        base=base,
+        column_name=name,
+        column_values=list(values),
+        candidate_table=Table("cand", {name: list(values)}),
+        overlap_fraction=1.0,
+    )
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_detected(self, base):
+        score = np.array(base.column("score"))
+        cubed = (score**3).tolist()
+        assert SpearmanProfile().compute(ctx(base, cubed)) > 0.95
+
+    def test_independent_low(self, base):
+        rng = np.random.default_rng(5)
+        assert SpearmanProfile().compute(
+            ctx(base, rng.normal(size=150).tolist())
+        ) < 0.35
+
+    def test_all_missing(self, base):
+        assert SpearmanProfile().compute(ctx(base, [None] * 150)) == 0.0
+
+
+class TestAnomaly:
+    def test_clean_column_high(self, base):
+        rng = np.random.default_rng(1)
+        assert AnomalyProfile().compute(
+            ctx(base, rng.normal(size=150).tolist())
+        ) >= 0.95
+
+    def test_outlier_heavy_column_lower(self, base):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=150)
+        values[:20] = 500.0  # gross outliers
+        clean = AnomalyProfile().compute(ctx(base, rng.normal(size=150).tolist()))
+        dirty = AnomalyProfile().compute(ctx(base, values.tolist()))
+        assert dirty < clean
+
+    def test_constant_column_perfect(self, base):
+        assert AnomalyProfile().compute(ctx(base, [5.0] * 150)) == 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AnomalyProfile(z_threshold=0)
+
+
+class TestCompleteness:
+    def test_full_column(self, base):
+        assert CompletenessProfile().compute(ctx(base, [1.0] * 150)) == 1.0
+
+    def test_half_missing(self, base):
+        values = [1.0] * 75 + [None] * 75
+        assert CompletenessProfile().compute(ctx(base, values)) == pytest.approx(0.5)
+
+
+class TestFairness:
+    def test_age_proxy_scores_low(self, base):
+        proxy = [a * 1.01 for a in base.column("age")]
+        assert FairnessProfile("age").compute(ctx(base, proxy)) < 0.1
+
+    def test_independent_scores_high(self, base):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=150).tolist()
+        assert FairnessProfile("age").compute(ctx(base, values)) > 0.7
+
+    def test_missing_sensitive_zero(self, base):
+        assert FairnessProfile("ghost").compute(ctx(base, [1.0] * 150)) == 0.0
+
+
+class TestExtendedRegistry:
+    def test_without_sensitive(self):
+        registry = extended_registry()
+        assert "spearman" in registry.names
+        assert "anomaly" in registry.names
+        assert "completeness" in registry.names
+        assert "fairness" not in registry.names
+
+    def test_with_sensitive(self):
+        registry = extended_registry(sensitive_column="age")
+        assert "fairness" in registry.names
+
+    def test_vector_shape(self, base):
+        registry = extended_registry(sensitive_column="age")
+        vector = registry.compute_vector(ctx(base, [1.0] * 150))
+        assert vector.shape == (9,)
+        assert np.all((vector >= 0) & (vector <= 1))

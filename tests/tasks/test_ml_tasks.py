@@ -1,0 +1,180 @@
+"""Tests for classification, regression, AutoML and fairness tasks."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.tasks import (
+    AutoMLTask,
+    ClassificationTask,
+    FairClassificationTask,
+    RegressionTask,
+    canonical_column,
+)
+
+
+def make_classification_table(n=200, informative=True, seed=0):
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(size=n)
+    label = np.where(signal + rng.normal(scale=0.3, size=n) > 0, "yes", "no")
+    feature = signal if informative else rng.normal(size=n)
+    return Table(
+        "t",
+        {"id": [str(i) for i in range(n)], "feature": feature.tolist(), "label": label.tolist()},
+    )
+
+
+class TestCanonicalColumn:
+    def test_plain_column(self):
+        assert canonical_column("income") == "income"
+
+    def test_augmented_column(self):
+        assert canonical_column("zip→crime.zipcode#crime_count") == "crime_count"
+
+
+class TestClassificationTask:
+    def test_informative_feature_high_utility(self):
+        task = ClassificationTask("label", exclude_columns=("id",), seed=0)
+        assert task.utility(make_classification_table(informative=True)) > 0.8
+
+    def test_uninformative_feature_low_utility(self):
+        task = ClassificationTask("label", exclude_columns=("id",), seed=0)
+        assert task.utility(make_classification_table(informative=False)) < 0.65
+
+    def test_deterministic(self):
+        task = ClassificationTask("label", exclude_columns=("id",), seed=0)
+        table = make_classification_table()
+        assert task.utility(table) == task.utility(table)
+
+    def test_missing_target_raises(self):
+        task = ClassificationTask("nope")
+        with pytest.raises(KeyError):
+            task.utility(make_classification_table())
+
+    def test_no_features_zero(self):
+        table = Table("t", {"label": ["a", "b"] * 20})
+        assert ClassificationTask("label").utility(table) == 0.0
+
+    def test_single_class_zero(self):
+        table = Table("t", {"x": list(range(40)), "label": ["a"] * 40})
+        assert ClassificationTask("label").utility(table) == 0.0
+
+    def test_f1_metric(self):
+        task = ClassificationTask("label", metric="f1", exclude_columns=("id",), seed=0)
+        assert 0.0 <= task.utility(make_classification_table()) <= 1.0
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            ClassificationTask("label", metric="auc")
+
+    def test_utility_in_unit_interval(self):
+        task = ClassificationTask("label", exclude_columns=("id",), seed=0)
+        u = task.utility(make_classification_table(informative=False, seed=3))
+        assert 0.0 <= u <= 1.0
+
+
+class TestRegressionTask:
+    @pytest.fixture
+    def table(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=250)
+        y = 3.0 * x + rng.normal(scale=0.2, size=250)
+        return Table(
+            "t",
+            {"id": [str(i) for i in range(250)], "x": x.tolist(), "y": y.tolist()},
+        )
+
+    def test_informative_feature_positive_utility(self, table):
+        task = RegressionTask("y", exclude_columns=("id",), seed=0)
+        assert task.utility(table) > 0.4
+
+    def test_uninformative_near_zero(self):
+        rng = np.random.default_rng(1)
+        table = Table(
+            "t",
+            {"junk": rng.normal(size=250).tolist(), "y": rng.normal(size=250).tolist()},
+        )
+        assert RegressionTask("y", seed=0).utility(table) < 0.2
+
+    def test_constant_target_zero(self):
+        table = Table("t", {"x": list(range(50)), "y": [5.0] * 50})
+        assert RegressionTask("y").utility(table) == 0.0
+
+    def test_too_few_rows_zero(self):
+        table = Table("t", {"x": [1, 2], "y": [1.0, 2.0]})
+        assert RegressionTask("y").utility(table) == 0.0
+
+    def test_missing_target_raises(self, table):
+        with pytest.raises(KeyError):
+            RegressionTask("nope").utility(table)
+
+    def test_nan_targets_dropped(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100)
+        y = (2 * x).tolist()
+        y[::10] = [None] * 10
+        table = Table("t", {"x": x.tolist(), "y": y})
+        u = RegressionTask("y", seed=0).utility(table)
+        assert 0.0 <= u <= 1.0
+
+
+class TestAutoMLTask:
+    def test_learnable(self):
+        task = AutoMLTask("label", exclude_columns=("id",), seed=0)
+        assert task.utility(make_classification_table()) > 0.75
+
+    def test_missing_target(self):
+        with pytest.raises(KeyError):
+            AutoMLTask("nope").utility(make_classification_table())
+
+    def test_single_class_zero(self):
+        table = Table("t", {"x": list(range(40)), "label": ["a"] * 40})
+        assert AutoMLTask("label").utility(table) == 0.0
+
+
+class TestFairClassificationTask:
+    @pytest.fixture
+    def table(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        age = rng.uniform(20, 70, size=n)
+        age_n = (age - age.mean()) / age.std()
+        merit = rng.normal(size=n)
+        label = np.where(1.5 * merit + 0.8 * age_n + rng.normal(scale=0.4, size=n) > 0, "hi", "lo")
+        return Table(
+            "t",
+            {
+                "age": age.tolist(),
+                "unfair_feature": (0.95 * age_n + 0.1 * rng.normal(size=n)).tolist(),
+                "fair_feature": merit.tolist(),
+                "label": label.tolist(),
+            },
+        )
+
+    def test_fair_feature_used(self, table):
+        task = FairClassificationTask("label", "age", seed=0)
+        assert task.utility(table) > 0.6
+
+    def test_unfair_feature_excluded(self, table):
+        # Dropping the fair feature leaves only the unfair one, which the
+        # filter discards -> utility collapses.
+        reduced = table.drop_columns(["fair_feature"])
+        task = FairClassificationTask("label", "age", seed=0)
+        assert task.utility(reduced) < task.utility(table)
+
+    def test_all_features_unfair_zero(self):
+        rng = np.random.default_rng(1)
+        age = rng.uniform(20, 70, size=100)
+        table = Table(
+            "t",
+            {
+                "age": age.tolist(),
+                "proxy": (age * 1.01).tolist(),
+                "label": np.where(age > 45, "a", "b").tolist(),
+            },
+        )
+        assert FairClassificationTask("label", "age", seed=0).utility(table) == 0.0
+
+    def test_missing_sensitive_raises(self, table):
+        with pytest.raises(KeyError):
+            FairClassificationTask("label", "nope").utility(table)

@@ -1,0 +1,85 @@
+"""Tests for PC orientation (v-structures + Meek rules)."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.causal.orientation import (
+    Cpdag,
+    orient_edges,
+    pc_cpdag,
+    skeleton_with_sepsets,
+)
+
+
+def collider_data(n=800, seed=0):
+    """a → c ← b with a ⊥ b marginally."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=n)
+    b = rng.normal(size=n)
+    c = a + b + rng.normal(scale=0.3, size=n)
+    return np.column_stack([a, b, c])
+
+
+class TestSkeletonWithSepsets:
+    def test_collider_skeleton(self):
+        edges, sepsets = skeleton_with_sepsets(collider_data(), max_cond=1)
+        assert frozenset((0, 2)) in edges
+        assert frozenset((1, 2)) in edges
+        assert frozenset((0, 1)) not in edges
+
+    def test_sepset_recorded(self):
+        _, sepsets = skeleton_with_sepsets(collider_data(), max_cond=1)
+        # a ⊥ b with the empty set — c must NOT be in the sepset.
+        assert 2 not in sepsets[frozenset((0, 1))]
+
+
+class TestOrientation:
+    def test_collider_oriented(self):
+        graph = pc_cpdag(collider_data(), max_cond=1)
+        assert (0, 2) in graph.directed
+        assert (1, 2) in graph.directed
+
+    def test_chain_stays_partially_undirected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=800)
+        b = a + rng.normal(scale=0.3, size=800)
+        c = b + rng.normal(scale=0.3, size=800)
+        graph = pc_cpdag(np.column_stack([a, b, c]), max_cond=1)
+        # A chain is Markov-equivalent to its reversal: no collider at b,
+        # so a-b and b-c cannot both be oriented into b.
+        assert not ((0, 1) in graph.directed and (2, 1) in graph.directed)
+
+    def test_meek_rule1_propagates(self):
+        # Skeleton: a-b, b-c; a→b known; a,c non-adjacent ⇒ b→c.
+        graph = Cpdag(3)
+        graph.undirected = {frozenset((1, 2))}
+        graph.directed = {(0, 1)}
+        from repro.tasks.causal.orientation import _meek_rule1
+
+        assert _meek_rule1(graph)
+        assert (1, 2) in graph.directed
+
+    def test_meek_rule2_propagates(self):
+        # a→b→c and a-c ⇒ a→c (avoid cycle).
+        graph = Cpdag(3)
+        graph.directed = {(0, 1), (1, 2)}
+        graph.undirected = {frozenset((0, 2))}
+        from repro.tasks.causal.orientation import _meek_rule2
+
+        assert _meek_rule2(graph)
+        assert (0, 2) in graph.directed
+
+    def test_orient_missing_edge_false(self):
+        graph = Cpdag(2)
+        assert not graph.orient(0, 1)
+
+    def test_orient_edges_empty(self):
+        graph = orient_edges(set(), {}, 3)
+        assert graph.directed == set()
+        assert graph.undirected == set()
+
+    def test_independent_data_no_edges(self):
+        rng = np.random.default_rng(2)
+        graph = pc_cpdag(rng.normal(size=(400, 3)), max_cond=1)
+        assert graph.directed == set()
+        assert graph.undirected == set()
