@@ -12,6 +12,7 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.catalog import Catalog, CatalogStore
 from repro.core.config import MetamConfig
 from repro.core.metam import Metam
 from repro.core.result import SearchResult
@@ -20,6 +21,8 @@ from repro.pipeline import prepare_candidates, run_baseline, run_metam
 __version__ = "1.0.0"
 
 __all__ = [
+    "Catalog",
+    "CatalogStore",
     "MetamConfig",
     "Metam",
     "SearchResult",

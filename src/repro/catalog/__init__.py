@@ -1,0 +1,30 @@
+"""Persistent catalog: on-disk, incrementally-updatable discovery state.
+
+The Metam paper assumes a pre-built Aurum index; this package is the
+production analogue for the reproduction — a content-addressed store of
+per-table artifacts (distinct-value sets, MinHash signatures, metadata,
+profile vectors) plus a :class:`Catalog` facade that maintains a live
+:class:`~repro.discovery.index.DiscoveryIndex` incrementally and
+warm-starts discovery runs from disk instead of re-indexing the corpus.
+"""
+
+from repro.catalog.catalog import Catalog, CatalogDiff, ProfileCache
+from repro.catalog.fingerprint import (
+    config_fingerprint,
+    profile_key,
+    registry_fingerprint,
+    table_fingerprint,
+)
+from repro.catalog.store import CatalogStore, CatalogStoreError
+
+__all__ = [
+    "Catalog",
+    "CatalogDiff",
+    "ProfileCache",
+    "CatalogStore",
+    "CatalogStoreError",
+    "table_fingerprint",
+    "config_fingerprint",
+    "profile_key",
+    "registry_fingerprint",
+]

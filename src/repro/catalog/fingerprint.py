@@ -1,0 +1,103 @@
+"""Content fingerprints: the staleness test of the persistent catalog.
+
+A table fingerprint digests the table's identity (name, source) and every
+cell, so any change to schema or data produces a new fingerprint and the
+catalog knows its persisted signatures/profiles for that table are stale.
+Fingerprints also address the on-disk object store: derived artifacts are
+stored under the fingerprint of the table they were computed from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+_MISSING = b"\x00\x00"
+
+
+def table_fingerprint(table) -> str:
+    """Hex digest of a table's full content (name, source, schema, cells).
+
+    The name participates because derived artifacts are name-dependent
+    (LSH keys are (table, column) pairs and the down-sampling seed mixes
+    in the table name), so two identical tables under different names do
+    not share catalog objects.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(table.name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(table.source.encode("utf-8"))
+    for column in table.column_names:
+        digest.update(b"\x00col\x00")
+        digest.update(column.encode("utf-8"))
+        digest.update(_MISSING)
+        # repr() of the whole cell list runs in C and is type-faithful
+        # (1 vs 1.0 vs '1' vs None all digest differently); hashing one
+        # blob per column keeps fingerprinting out of the warm-start
+        # critical path.
+        digest.update(repr(table.column(column)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: dict) -> str:
+    """Hex digest of an index/catalog configuration dict."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def _profile_identity(obj) -> str:
+    """Recursive identity of a profile (or nested helper object): class
+    name plus every public attribute.  Private attributes are skipped —
+    they hold memoization caches, not configuration."""
+    parts = [type(obj).__name__]
+    for attr, value in sorted(vars(obj).items()):
+        if attr.startswith("_"):
+            continue
+        if hasattr(value, "__dict__"):
+            parts.append(f"{attr}=<{_profile_identity(value)}>")
+        else:
+            parts.append(f"{attr}={value!r}")
+    return ";".join(parts)
+
+
+def registry_fingerprint(registry) -> str:
+    """Hex digest of a profile registry's full configuration.
+
+    Profile *names* are fixed class attributes, so two registries can
+    share names while computing different vectors (different ``dim``,
+    ``bins``, seeds, …).  Cached profile vectors must therefore be keyed
+    by this digest, which covers every public constructor parameter, in
+    registry order.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for profile in registry:
+        digest.update(_profile_identity(profile).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def profile_key(
+    base_fingerprint: str,
+    aug_id: str,
+    table_fingerprints,
+    registry_names,
+    sample_size: int,
+    seed: int,
+) -> str:
+    """Cache key of one candidate's profile vector.
+
+    Mixes in the fingerprints of every table on the candidate's join path:
+    profile vectors derive deterministically from the base table plus those
+    tables, so matching keys imply identical vectors.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    parts = (
+        [base_fingerprint, aug_id]
+        + list(table_fingerprints)
+        + list(registry_names)
+        + [str(sample_size), str(seed)]
+    )
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

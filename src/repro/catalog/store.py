@@ -1,0 +1,364 @@
+"""Content-addressed on-disk store backing the persistent catalog.
+
+Layout under the store root::
+
+    manifest.json          catalog config + {table name: fingerprint} snapshot
+    objects/<fp>.json      per-table derived artifacts (distinct sets,
+                           MinHash signatures, metadata), addressed by the
+                           fingerprint of the source table
+    profiles/<fp>.json     cached profile vectors, grouped by the
+                           fingerprint of the base (query) table
+
+Objects are immutable once written — a changed table gets a new
+fingerprint and therefore a new object — so incremental updates never
+rewrite artifacts of unchanged tables.  ``gc`` reclaims objects no live
+table references.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.discovery.index import ColumnEntry
+
+VERSION = 1
+
+
+class CatalogStoreError(RuntimeError):
+    """Raised on store corruption or configuration mismatch."""
+
+
+class CatalogStore:
+    """Filesystem persistence for catalog artifacts."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    def _object_path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, "objects", f"{fingerprint}.json")
+
+    def _profile_path(self, base_fingerprint: str) -> str:
+        return os.path.join(self.root, "profiles", f"{base_fingerprint}.json")
+
+    def exists(self) -> bool:
+        return os.path.exists(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def read_manifest(self):
+        """Manifest dict, or ``None`` if the store was never saved."""
+        if not self.exists():
+            return None
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            try:
+                manifest = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise CatalogStoreError(
+                    f"corrupt catalog manifest at {self.manifest_path!r}: {error}"
+                ) from error
+        version = manifest.get("version") if isinstance(manifest, dict) else None
+        if version != VERSION:
+            raise CatalogStoreError(
+                f"catalog at {self.root!r} has version "
+                f"{version!r}, expected {VERSION}"
+            )
+        return manifest
+
+    def write_manifest(self, config: dict, tables: dict) -> None:
+        """Persist config + the name→fingerprint snapshot atomically."""
+        os.makedirs(self.root, exist_ok=True)
+        payload = {
+            "version": VERSION,
+            "config": dict(config),
+            "tables": dict(sorted(tables.items())),
+        }
+        _atomic_write_json(self.manifest_path, payload)
+
+    # ------------------------------------------------------------------
+    # Table objects
+    # ------------------------------------------------------------------
+    def has_object(self, fingerprint: str) -> bool:
+        return os.path.exists(self._object_path(fingerprint))
+
+    def write_object(
+        self, fingerprint: str, meta: dict, entries: dict, overwrite: bool = False
+    ) -> None:
+        """Persist one table's derived artifacts (no-op if present:
+        objects are content-addressed, so equal fingerprint ⇒ equal
+        content).  ``overwrite`` forces the write — used when healing a
+        corrupt file with freshly recomputed content."""
+        path = self._object_path(fingerprint)
+        if os.path.exists(path) and not overwrite:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "meta": dict(meta),
+            "columns": {
+                column: {
+                    "distinct": sorted(entry.distinct),
+                    "normalized": sorted(entry.normalized),
+                    "signature": [int(x) for x in entry.signature.tolist()],
+                }
+                for column, entry in entries.items()
+            },
+        }
+        _atomic_write_json(path, payload)
+
+    def read_object(self, fingerprint: str):
+        """Load ``(meta, {column: ColumnEntry})`` for one fingerprint."""
+        path = self._object_path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(f"no catalog object {fingerprint!r}") from None
+        except json.JSONDecodeError as error:
+            raise CatalogStoreError(
+                f"corrupt catalog object at {path!r}: {error}"
+            ) from error
+        try:
+            entries = {}
+            for column, data in payload["columns"].items():
+                distinct = frozenset(data["distinct"])
+                if "normalized" in data:
+                    normalized = frozenset(data["normalized"])
+                else:
+                    normalized = frozenset(v.strip().lower() for v in distinct)
+                entries[column] = ColumnEntry(
+                    distinct=distinct,
+                    normalized=normalized,
+                    signature=np.array(data["signature"], dtype=np.uint64),
+                )
+            return payload["meta"], entries
+        except (KeyError, TypeError, AttributeError, ValueError, OverflowError) as error:
+            # ValueError/OverflowError: JSON-valid but wrong-typed
+            # signature data (np.array with dtype=uint64 rejects it).
+            raise CatalogStoreError(
+                f"corrupt catalog object at {path!r}: {error!r}"
+            ) from error
+
+    def delete_object(self, fingerprint: str) -> None:
+        try:
+            os.remove(self._object_path(fingerprint))
+        except FileNotFoundError:
+            pass
+
+    def list_objects(self) -> list:
+        """Fingerprints of all stored table objects."""
+        objects_dir = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects_dir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(objects_dir)
+            if name.endswith(".json")
+        )
+
+    def gc(self, live_fingerprints) -> int:
+        """Delete objects not in ``live_fingerprints``; returns the count."""
+        live = set(live_fingerprints)
+        removed = 0
+        for fingerprint in self.list_objects():
+            if fingerprint not in live:
+                self.delete_object(fingerprint)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Index snapshot
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.root, "snapshot.npz")
+
+    def write_snapshot(self, rows) -> None:
+        """Persist the hot index state: one (table, fingerprint, column,
+        signature) row per indexed column, signatures packed into a single
+        uint64 matrix.
+
+        This is what makes warm starts fast — hydrating the LSH index
+        needs only this one compact file; the bulky value sets stay in the
+        per-table objects and are paged in lazily on first containment
+        check.  Each row carries the source table's fingerprint so a
+        reader can tell exactly which content the signatures belong to —
+        a snapshot that is stale relative to the manifest (crash between
+        the two writes) is then detected instead of silently served.
+        """
+        rows = list(rows)
+        os.makedirs(self.root, exist_ok=True)
+        # Fixed-width unicode arrays (never dtype=object): the file can
+        # then be read back without allow_pickle, so opening a foreign
+        # catalog directory cannot execute a pickle payload.
+        tables = np.array([table for table, _f, _c, _s in rows], dtype=str)
+        fingerprints = np.array(
+            [fingerprint for _t, fingerprint, _c, _s in rows], dtype=str
+        )
+        columns = np.array([column for _t, _f, column, _s in rows], dtype=str)
+        if rows:
+            signatures = np.stack([signature for _t, _f, _c, signature in rows])
+        else:
+            signatures = np.empty((0, 0), dtype=np.uint64)
+        fd, tmp = tempfile.mkstemp(
+            prefix="snapshot.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    tables=tables,
+                    fingerprints=fingerprints,
+                    columns=columns,
+                    signatures=signatures,
+                )
+            os.replace(tmp, self.snapshot_path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def read_snapshot(self):
+        """Load ``{table: (fingerprint, {column: signature})}``, or
+        ``None`` if absent."""
+        try:
+            with np.load(self.snapshot_path) as payload:
+                tables = payload["tables"]
+                fingerprints = payload["fingerprints"]
+                columns = payload["columns"]
+                signatures = payload["signatures"].astype(np.uint64, copy=False)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # The snapshot is a pure optimization over the object store; a
+            # corrupt/truncated file (np.load raises anything from
+            # BadZipFile to UnpicklingError) must degrade to a slower
+            # object-backed start, not crash warm loading.
+            return None
+        out = {}
+        for i, table in enumerate(tables):
+            fingerprint, per_column = out.setdefault(
+                str(table), (str(fingerprints[i]), {})
+            )
+            per_column[str(columns[i])] = signatures[i]
+        return out
+
+    # ------------------------------------------------------------------
+    # Profile vectors
+    # ------------------------------------------------------------------
+    def read_profiles(self, base_fingerprint: str) -> dict:
+        """Cached ``{profile key: vector}`` for one base table."""
+        path = self._profile_path(base_fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return {
+                key: np.array(vector, dtype=float)
+                for key, vector in payload["entries"].items()
+            }
+        except FileNotFoundError:
+            return {}
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError, ValueError):
+            # Like the snapshot, cached profiles are a pure optimization:
+            # a corrupt file (including JSON-valid but non-numeric vector
+            # entries) degrades to recomputation (and is overwritten by
+            # the next flush), never fails a discovery run.
+            return {}
+
+    def write_profiles(self, base_fingerprint: str, entries: dict) -> None:
+        path = self._profile_path(base_fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "entries": {
+                key: [float(x) for x in np.asarray(vector).tolist()]
+                for key, vector in sorted(entries.items())
+            }
+        }
+        _atomic_write_json(path, payload)
+
+    def list_profile_groups(self) -> list:
+        profiles_dir = os.path.join(self.root, "profiles")
+        if not os.path.isdir(profiles_dir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(profiles_dir)
+            if name.endswith(".json")
+        )
+
+    # ------------------------------------------------------------------
+    # Auxiliary metadata
+    # ------------------------------------------------------------------
+    def read_aux(self, name: str):
+        """Auxiliary JSON metadata stored alongside the catalog (e.g. the
+        CLI's corpus-generation parameters), or ``None`` if absent or
+        unreadable."""
+        try:
+            with open(os.path.join(self.root, name), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def write_aux(self, name: str, payload) -> None:
+        """Atomically persist auxiliary JSON metadata in the store root."""
+        os.makedirs(self.root, exist_ok=True)
+        _atomic_write_json(os.path.join(self.root, name), payload)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counts and on-disk footprint of the store."""
+        manifest = self.read_manifest() or {"config": {}, "tables": {}}
+        n_profiles = 0
+        for group in self.list_profile_groups():
+            # Count keys straight off the JSON payload — stats must not
+            # materialize every cached vector as a numpy array.
+            try:
+                with open(self._profile_path(group), encoding="utf-8") as handle:
+                    n_profiles += len(json.load(handle).get("entries", {}))
+            except (FileNotFoundError, json.JSONDecodeError, AttributeError):
+                pass
+        size = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                size += os.path.getsize(os.path.join(dirpath, name))
+        return {
+            "tables": len(manifest["tables"]),
+            "objects": len(self.list_objects()),
+            "profile_groups": len(self.list_profile_groups()),
+            "profile_entries": n_profiles,
+            "disk_bytes": size,
+            "config": manifest["config"],
+        }
+
+
+def _atomic_write_json(path: str, payload) -> None:
+    """Write JSON via a unique temp file + rename so readers never see
+    partial content and concurrent writers cannot interleave into one
+    temp file — last completed writer wins (best-effort on non-POSIX
+    filesystems)."""
+    fd, tmp = tempfile.mkstemp(
+        prefix=f"{os.path.basename(path)}.", suffix=".tmp",
+        dir=os.path.dirname(path) or ".",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except FileNotFoundError:
+            pass
+        raise

@@ -9,6 +9,11 @@ Commands
     utility-vs-queries chart; ``--save`` archives results as JSON.
 ``corpus-stats``
     Generate a synthetic corpus and print its Table-I characteristics.
+``catalog build|update|stats``
+    Maintain a persistent discovery catalog on disk: ``build`` indexes a
+    corpus into a catalog directory, ``update`` incrementally refreshes it
+    (only new/changed tables are re-signed), ``stats`` reports its
+    contents and footprint.
 """
 
 from __future__ import annotations
@@ -70,6 +75,39 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--tables", type=int, default=100)
     stats.add_argument("--style", choices=["open_data", "kaggle"], default="open_data")
     stats.add_argument("--seed", type=int, default=0)
+
+    catalog = sub.add_parser("catalog", help="persistent discovery catalog")
+    catsub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    build = catsub.add_parser(
+        "build", help="index a (synthetic) corpus into a catalog directory"
+    )
+    build.add_argument("dir", help="catalog directory")
+    build.add_argument("--tables", type=int, default=100)
+    build.add_argument("--style", choices=["open_data", "kaggle"], default="open_data")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--num-perm", type=int, default=64)
+    build.add_argument("--bands", type=int, default=16)
+    build.add_argument("--min-containment", type=float, default=0.3)
+
+    update = catsub.add_parser(
+        "update", help="incrementally refresh a catalog against a corpus"
+    )
+    update.add_argument("dir", help="catalog directory")
+    # Default to the corpus parameters recorded at build time, so a bare
+    # 'catalog update DIR' refreshes the same corpus instead of silently
+    # regenerating a different one and re-signing everything.
+    update.add_argument("--tables", type=int, default=None)
+    update.add_argument(
+        "--style", choices=["open_data", "kaggle"], default=None
+    )
+    update.add_argument("--seed", type=int, default=None)
+    update.add_argument(
+        "--gc", action="store_true", help="drop objects no table references"
+    )
+
+    cat_stats = catsub.add_parser("stats", help="catalog contents and footprint")
+    cat_stats.add_argument("dir", help="catalog directory")
     return parser
 
 
@@ -134,6 +172,170 @@ def _cmd_corpus_stats(args) -> int:
     return 0
 
 
+def _cmd_catalog(args) -> int:
+    from repro.catalog import CatalogStoreError
+
+    try:
+        return _run_catalog_command(args)
+    except CatalogStoreError as error:
+        print(f"error: {error}")
+        return 1
+
+
+def _run_catalog_command(args) -> int:
+    import time
+
+    from repro.catalog import Catalog, CatalogStore
+    from repro.data import generate_corpus
+
+    if args.catalog_command == "stats":
+        store = CatalogStore(args.dir)
+        if not store.exists():
+            print(f"no catalog at {args.dir}")
+            return 1
+        stats = store.stats()
+        print(f"catalog at {args.dir}")
+        print(f"  tables          {stats['tables']}")
+        print(f"  objects         {stats['objects']}")
+        print(f"  profile groups  {stats['profile_groups']}")
+        print(f"  profile entries {stats['profile_entries']}")
+        print(f"  disk            {stats['disk_bytes']}B")
+        print(f"  config          {stats['config']}")
+        return 0
+
+    # Open/validate the catalog before the (potentially expensive) corpus
+    # generation, so bad paths and bad parameters fail fast.
+    if args.catalog_command == "build":
+        import warnings
+
+        store = CatalogStore(args.dir)
+        if store.exists():
+            # Surface manifest corruption first (raises CatalogStoreError,
+            # handled by the command wrapper).
+            store.read_manifest()
+            # Re-building over an existing catalog with a different — or
+            # unknown — corpus definition would silently replace every
+            # table right after the "config ignored" warning; direct the
+            # user to 'update', which handles corpus changes explicitly.
+            stored = _load_corpus_args(args.dir)
+            requested = {
+                "tables": args.tables,
+                "style": args.style,
+                "seed": args.seed,
+            }
+            if not stored:
+                print(
+                    f"error: catalog at {args.dir!r} exists but has no "
+                    "recorded corpus parameters (was it built outside the "
+                    "CLI?); refusing to replace its tables — use 'catalog "
+                    "update' with explicit flags"
+                )
+                return 1
+            if stored != requested:
+                print(
+                    f"error: catalog at {args.dir!r} was built from corpus "
+                    f"{stored}, which differs from the requested {requested}; "
+                    "use 'catalog update' with explicit flags to change the "
+                    "corpus"
+                )
+                return 1
+
+        # Catalog.open warns when an existing catalog overrides the
+        # requested config; surface that on stdout for CLI users.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            try:
+                catalog = Catalog.open(
+                    args.dir,
+                    num_perm=args.num_perm,
+                    bands=args.bands,
+                    min_containment=args.min_containment,
+                    seed=args.seed,
+                )
+            except ValueError as error:
+                # Invalid index parameters (e.g. --num-perm not divisible
+                # by --bands); only construction gets this treatment so
+                # unrelated internal ValueErrors still surface loudly.
+                print(f"error: {error}")
+                return 1
+        for warning in caught:
+            print(f"warning: {warning.message}")
+    else:
+        catalog = Catalog.load(args.dir)
+    corpus_args = _effective_corpus_args(args)
+    corpus = generate_corpus(
+        corpus_args["tables"],
+        style=corpus_args["style"],
+        seed=corpus_args["seed"],
+    )
+    start = time.perf_counter()
+    diff = catalog.refresh(corpus)
+    catalog.save()
+    _save_corpus_args(args.dir, corpus_args)
+    if args.catalog_command == "update" and args.gc:
+        dropped = catalog.gc()
+        if dropped:
+            print(f"gc: dropped {dropped} orphaned objects")
+    elapsed = time.perf_counter() - start
+    print(f"catalog at {args.dir}: {diff.summary()}")
+    print(
+        f"  {catalog.computed_columns} columns signed, "
+        f"{catalog.loaded_columns} loaded from disk, {elapsed:.2f}s"
+    )
+    return 0
+
+
+_CORPUS_ARGS_FILE = "cli_corpus.json"
+
+
+def _load_corpus_args(catalog_dir: str) -> dict:
+    from repro.catalog import CatalogStore
+
+    return CatalogStore(catalog_dir).read_aux(_CORPUS_ARGS_FILE) or {}
+
+
+def _effective_corpus_args(args) -> dict:
+    """Corpus-generation parameters for a catalog command.
+
+    ``build`` always uses the flags; ``update`` falls back per-flag to the
+    parameters recorded by the previous build/update, so a bare update
+    refreshes the same synthetic corpus.
+    """
+    from repro.catalog import CatalogStoreError
+
+    stored = {}
+    if args.catalog_command == "update":
+        stored = _load_corpus_args(args.dir)
+        missing = [
+            flag
+            for flag, value in (
+                ("--tables", args.tables),
+                ("--style", args.style),
+                ("--seed", args.seed),
+            )
+            if value is None and flag.lstrip("-") not in stored
+        ]
+        if missing:
+            # Guessing defaults here would regenerate a different corpus
+            # and (with --gc) destroy the catalog's objects — refuse.
+            raise CatalogStoreError(
+                f"catalog at {args.dir!r} has no recorded corpus parameters "
+                f"(was it built outside the CLI?); pass {', '.join(missing)} "
+                "explicitly"
+            )
+    return {
+        "tables": args.tables if args.tables is not None else stored["tables"],
+        "style": args.style if args.style is not None else stored["style"],
+        "seed": args.seed if args.seed is not None else stored["seed"],
+    }
+
+
+def _save_corpus_args(catalog_dir: str, corpus_args: dict) -> None:
+    from repro.catalog import CatalogStore
+
+    CatalogStore(catalog_dir).write_aux(_CORPUS_ARGS_FILE, corpus_args)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-scenarios":
@@ -142,6 +344,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "corpus-stats":
         return _cmd_corpus_stats(args)
+    if args.command == "catalog":
+        return _cmd_catalog(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -296,9 +296,9 @@ class Metam:
             scorer = QualityScorer(self._profiles, clusters)
             # Seed the scorer with the gains the probe queries produced.
             for i, aug_id in enumerate(self._ids):
-                key = frozenset({aug_id})
-                if key in self.engine._cache:
-                    scorer.observed_gains[i] = self.engine._cache[key] - base_utility
+                cached = self.engine.cached_utility({aug_id})
+                if cached is not None:
+                    scorer.observed_gains[i] = cached - base_utility
             bandit = ThompsonGroupSelector(
                 clusters, seed=rng, uniform=not config.use_thompson
             )

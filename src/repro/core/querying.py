@@ -84,6 +84,11 @@ class QueryEngine:
         self.trace.append((self.queries, self._best))
         return value
 
+    def cached_utility(self, aug_ids):
+        """Memoized utility of an augmentation set, or ``None`` if that
+        set was never evaluated.  Never spends a query."""
+        return self._cache.get(frozenset(aug_ids))
+
     def base_utility(self) -> float:
         """Utility of the unaugmented input dataset."""
         return self.utility(frozenset())

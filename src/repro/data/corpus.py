@@ -69,21 +69,34 @@ def generate_corpus(
     return corpus
 
 
-def corpus_characteristics(corpus, index=None) -> dict:
+def corpus_characteristics(corpus, index=None, size_sample: int = 1000) -> dict:
     """The four Table I columns for a corpus.
 
     ``#Joinable Columns`` counts indexed columns participating in at least
     one joinable pair (requires ``index``; reported as 0 without one).
-    Size is the in-memory cell estimate in bytes.
+    Size is the in-memory cell estimate in bytes; columns longer than
+    ``size_sample`` cells are estimated from a deterministic evenly-spaced
+    sample instead of stringifying every cell, so the statistic stays
+    cheap on production-scale corpora (``size_sample <= 0`` disables
+    sampling and counts every cell).
     """
     n_tables = len(corpus)
     n_columns = sum(t.num_columns for t in corpus)
     size_bytes = 0
     for table in corpus:
         for column in table.column_names:
-            size_bytes += sum(
-                len(str(v)) if v is not None else 1 for v in table.column(column)
+            cells = table.column(column)
+            if size_sample <= 0 or len(cells) <= size_sample:
+                sample = cells
+            else:
+                stride = len(cells) / size_sample
+                sample = [cells[int(i * stride)] for i in range(size_sample)]
+            if not sample:
+                continue
+            sampled = sum(
+                len(str(v)) if v is not None else 1 for v in sample
             )
+            size_bytes += int(round(sampled * len(cells) / len(sample)))
     joinable = 0
     if index is not None:
         seen = set()

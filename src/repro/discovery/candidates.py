@@ -87,17 +87,38 @@ def profile_candidates(
     registry: ProfileRegistry,
     sample_size: int = 100,
     seed: int = 0,
+    cache=None,
 ) -> list:
-    """Attach a profile vector to every candidate (in place; returns list)."""
-    for candidate in candidates:
-        context = ProfileContext(
-            base=base,
-            column_name=candidate.aug_id,
-            column_values=candidate.values,
-            candidate_table=corpus[candidate.aug.final_table],
-            overlap_fraction=candidate.overlap,
-            sample_size=sample_size,
-            seed=seed,
-        )
-        candidate.profile_vector = registry.compute_vector(context)
+    """Attach a profile vector to every candidate (in place; returns list).
+
+    ``cache`` (a :class:`repro.catalog.ProfileCache`) short-circuits
+    computation for candidates profiled in a previous run: vectors derive
+    deterministically from the base table plus the join-path tables, so a
+    fingerprint-keyed hit is exact, not approximate.  Newly computed
+    vectors are written back and flushed at the end.
+    """
+    try:
+        for candidate in candidates:
+            if cache is not None:
+                cached = cache.get(candidate)
+                if cached is not None:
+                    candidate.profile_vector = cached
+                    continue
+            context = ProfileContext(
+                base=base,
+                column_name=candidate.aug_id,
+                column_values=candidate.values,
+                candidate_table=corpus[candidate.aug.final_table],
+                overlap_fraction=candidate.overlap,
+                sample_size=sample_size,
+                seed=seed,
+            )
+            candidate.profile_vector = registry.compute_vector(context)
+            if cache is not None:
+                cache.put(candidate, candidate.profile_vector)
+    finally:
+        # Persist whatever was computed even if a late candidate failed —
+        # the finished vectors are valid and save the next run the work.
+        if cache is not None:
+            cache.flush()
     return candidates

@@ -6,11 +6,21 @@ whose LSH buckets collide and whose verified containment passes a
 threshold.  Like Aurum, the output is noisy: semantically wrong joins with
 overlapping value domains do surface (the paper relies on this — ~60% of
 discovered candidates are erroneous in §VI-A).
+
+The per-column state lives in :class:`ColumnEntry` objects (distinct
+sample, normalized value set, MinHash signature).  Entries can be computed
+here or supplied precomputed — that is how the persistent catalog
+(:mod:`repro.catalog`) warm-starts an index without re-signing unchanged
+tables — and tables can be removed incrementally, so the catalog can keep
+an index in sync with a changing corpus without full rebuilds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.dataframe.table import Table
 from repro.discovery.lsh import LshIndex
@@ -28,6 +38,41 @@ class ColumnRef:
         return f"{self.table}.{self.column}"
 
 
+@dataclass(frozen=True, eq=False)
+class ColumnEntry:
+    """Everything the index stores about one column.
+
+    ``distinct`` is the (possibly down-sampled) raw distinct-value set the
+    signature was computed from; ``normalized`` is its stripped/lowercased
+    form used for containment verification, computed once at indexing time
+    instead of on every query.
+    """
+
+    distinct: frozenset
+    normalized: frozenset
+    signature: np.ndarray = field(repr=False)
+
+    def __eq__(self, other):
+        if not isinstance(other, ColumnEntry):
+            return NotImplemented
+        return (
+            self.distinct == other.distinct
+            and self.normalized == other.normalized
+            and np.array_equal(self.signature, other.signature)
+        )
+
+    def __hash__(self):
+        # Value sets alone: equal entries (which also match on signature)
+        # necessarily hash alike, keeping entries usable in sets/dicts.
+        return hash((self.distinct, self.normalized))
+
+
+def _sample_seed(seed: int, table: str, column: str) -> int:
+    """Stable per-column sampling seed (independent of insertion order)."""
+    key = f"{seed}:{table}:{column}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
 class DiscoveryIndex:
     """Joinable-column index over a corpus of tables.
 
@@ -40,7 +85,8 @@ class DiscoveryIndex:
         column C given query column Q.
     max_distinct:
         Columns with more distinct values than this are still indexed but
-        sampled down (keeps signatures cheap on wide corpora).
+        down-sampled with a seeded uniform sample (keeps signatures cheap
+        on wide corpora without biasing containment estimates).
     """
 
     def __init__(
@@ -53,33 +99,177 @@ class DiscoveryIndex:
     ):
         self._hasher = MinHasher(num_perm=num_perm, seed=seed)
         self._lsh = LshIndex(num_perm=num_perm, bands=bands)
+        self.num_perm = num_perm
+        self.bands = bands
         self.min_containment = min_containment
         self.max_distinct = max_distinct
-        self._distinct = {}
+        self.seed = seed
+        self._entries = {}
         self._tables = {}
+        self._entry_loader = None
 
     # ------------------------------------------------------------------
     @property
     def tables(self) -> dict:
-        """Indexed tables by name."""
+        """Indexed tables by name (a copy — use :meth:`get_table` for
+        single lookups on hot paths)."""
         return dict(self._tables)
+
+    def get_table(self, table_name: str):
+        """Indexed Table by name without copying the registry, or ``None``
+        (the per-table hot-path complement of the :attr:`tables` copy)."""
+        return self._tables.get(table_name)
 
     @property
     def num_indexed_columns(self) -> int:
-        return len(self._distinct)
+        return len(self._lsh)
 
-    def add_table(self, table: Table) -> None:
-        """Index every column of ``table``."""
+    @property
+    def config(self) -> dict:
+        """Construction parameters (what a catalog must match to reuse
+        persisted signatures)."""
+        return {
+            "num_perm": self.num_perm,
+            "bands": self.bands,
+            "min_containment": self.min_containment,
+            "max_distinct": self.max_distinct,
+            "seed": self.seed,
+        }
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def compute_column_entry(self, table: Table, column: str) -> ColumnEntry:
+        """Signature + value sets for one column (the expensive step)."""
+        distinct = table.distinct_values(column)
+        if len(distinct) > self.max_distinct:
+            rng = np.random.default_rng(
+                _sample_seed(self.seed, table.name, column)
+            )
+            picks = rng.choice(
+                sorted(distinct), size=self.max_distinct, replace=False
+            )
+            distinct = set(picks.tolist())
+        return ColumnEntry(
+            distinct=frozenset(distinct),
+            normalized=frozenset(v.strip().lower() for v in distinct),
+            signature=self._hasher.signature(distinct),
+        )
+
+    def add_table(self, table: Table, entries: dict = None) -> None:
+        """Index every column of ``table``.
+
+        ``entries`` optionally supplies precomputed :class:`ColumnEntry`
+        objects by column name (e.g. loaded from a persistent catalog); any
+        column not covered is computed here.
+        """
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already indexed")
+        entries = entries or {}
+        unknown = set(entries) - set(table.column_names)
+        if unknown:
+            raise ValueError(
+                f"precomputed entries for unknown columns {sorted(unknown)!r} "
+                f"of table {table.name!r}"
+            )
+        # Resolve and validate everything before touching index state, so
+        # a bad precomputed entry cannot leave a half-indexed table.
+        resolved = {
+            column: entries.get(column) or self.compute_column_entry(table, column)
+            for column in table.column_names
+        }
+        for column, entry in resolved.items():
+            if entry.signature.shape != (self.num_perm,):
+                raise ValueError(
+                    f"entry for {table.name}.{column} has signature shape "
+                    f"{entry.signature.shape}, expected ({self.num_perm},)"
+                )
         self._tables[table.name] = table
-        for column in table.column_names:
+        for column, entry in resolved.items():
             ref = ColumnRef(table.name, column)
-            distinct = table.distinct_values(column)
-            if len(distinct) > self.max_distinct:
-                distinct = set(sorted(distinct)[: self.max_distinct])
-            self._distinct[ref] = distinct
-            self._lsh.insert(ref, self._hasher.signature(distinct))
+            self._entries[ref] = entry
+            self._lsh.insert(ref, entry.signature)
+
+    def add_table_hydrated(self, table: Table, signatures: dict) -> None:
+        """Index a table from precomputed signatures alone (warm start).
+
+        ``signatures`` maps every column name to its MinHash signature;
+        the LSH structure hydrates immediately via one bulk insert, while
+        the value sets needed for containment verification are fetched
+        lazily through the entry loader (:meth:`set_entry_loader`) on the
+        first query that collides with one of this table's columns.
+        """
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already indexed")
+        missing = set(table.column_names) - set(signatures)
+        if missing:
+            raise ValueError(
+                f"signatures missing for columns {sorted(missing)!r} "
+                f"of table {table.name!r}"
+            )
+        refs = [ColumnRef(table.name, column) for column in table.column_names]
+        matrix = np.stack([signatures[ref.column] for ref in refs])
+        # insert_many validates shape before mutating; register the table
+        # only once the insert succeeded, so failures leave no trace.
+        self._lsh.insert_many(refs, matrix)
+        self._tables[table.name] = table
+
+    def set_entry_loader(self, loader) -> None:
+        """Install the lazy entry source for hydrated tables.
+
+        ``loader(table_name)`` must return ``{column: ColumnEntry}`` for
+        every column of that table.
+        """
+        self._entry_loader = loader
+
+    def _entry(self, ref: ColumnRef) -> ColumnEntry:
+        """Entry for ``ref``, paging in the owning table's entries if the
+        index was hydrated from signatures only."""
+        entry = self._entries.get(ref)
+        if entry is not None:
+            return entry
+        if self._entry_loader is None:
+            raise KeyError(f"no entry for {ref} and no entry loader installed")
+        loaded = self._entry_loader(ref.table)
+        for column, column_entry in loaded.items():
+            self._entries[ColumnRef(ref.table, column)] = column_entry
+        return self._entries[ref]
+
+    def remove_table(self, table_name: str) -> None:
+        """Drop a table and all its column entries (incremental; touches
+        only this table's LSH buckets)."""
+        if table_name not in self._tables:
+            raise KeyError(f"table {table_name!r} not indexed")
+        table = self._tables.pop(table_name)
+        for column in table.column_names:
+            ref = ColumnRef(table_name, column)
+            self._entries.pop(ref, None)
+            self._lsh.remove(ref)
+
+    def signature_of(self, ref: ColumnRef) -> np.ndarray:
+        """Stored MinHash signature of an indexed column."""
+        return self._lsh.signature_of(ref)
+
+    def rebind_table(self, table: Table) -> None:
+        """Swap the stored Table object for an equal-content newcomer.
+
+        Used by the catalog when a refresh sees an unchanged fingerprint:
+        the index keeps its entries but points at the current corpus
+        object instead of pinning the previous generation in memory.
+        """
+        if table.name not in self._tables:
+            raise KeyError(f"table {table.name!r} not indexed")
+        self._tables[table.name] = table
+
+    def column_entries(self, table_name: str) -> dict:
+        """Stored :class:`ColumnEntry` objects of one table, by column
+        (forces lazy entries to load)."""
+        if table_name not in self._tables:
+            raise KeyError(f"table {table_name!r} not indexed")
+        return {
+            column: self._entry(ColumnRef(table_name, column))
+            for column in self._tables[table_name].column_names
+        }
 
     def build(self, corpus) -> "DiscoveryIndex":
         """Index every table in ``corpus`` (iterable of Tables)."""
@@ -103,7 +293,7 @@ class DiscoveryIndex:
         for ref in self._lsh.query(signature):
             if exclude_table is not None and ref.table == exclude_table:
                 continue
-            candidate = {v.strip().lower() for v in self._distinct[ref]}
+            candidate = self._entry(ref).normalized
             containment = len(query_values & candidate) / len(query_values)
             if containment >= self.min_containment:
                 results.append((ref, containment))

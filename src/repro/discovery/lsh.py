@@ -42,7 +42,48 @@ class LshIndex:
             raise ValueError(f"item {item!r} already indexed")
         self._items[item] = signature
         for band, key in self._band_keys(signature):
-            self._buckets[band].setdefault(key, []).append(item)
+            self._buckets[band].setdefault(key, set()).add(item)
+
+    def insert_many(self, items, signatures: np.ndarray) -> None:
+        """Bulk :meth:`insert` from a stacked ``(len(items), num_perm)``
+        signature matrix — one reshape+tolist instead of per-item band
+        slicing, the hot path of warm-start hydration."""
+        items = list(items)
+        if signatures.shape != (len(items), self.num_perm):
+            raise ValueError(
+                f"signatures must have shape ({len(items)}, {self.num_perm}), "
+                f"got {signatures.shape}"
+            )
+        duplicates = [item for item in items if item in self._items]
+        if duplicates:
+            raise ValueError(f"items already indexed: {duplicates!r}")
+        if len(set(items)) != len(items):
+            raise ValueError("duplicate items within batch")
+        nested = signatures.reshape(
+            len(items), self.bands, self.rows_per_band
+        ).tolist()
+        for i, item in enumerate(items):
+            self._items[item] = signatures[i]
+            for band, key in enumerate(nested[i]):
+                self._buckets[band].setdefault(tuple(key), set()).add(item)
+
+    def remove(self, item) -> None:
+        """Drop ``item`` from the index (inverse of :meth:`insert`).
+
+        Only the buckets the item's stored signature hashes to are
+        touched, and buckets are sets, so removal is O(bands) even when
+        many items share a bucket (e.g. the all-empty-column signature).
+        """
+        if item not in self._items:
+            raise KeyError(f"item {item!r} not indexed")
+        signature = self._items.pop(item)
+        for band, key in self._band_keys(signature):
+            bucket = self._buckets[band].get(key)
+            if bucket is None:
+                continue
+            bucket.discard(item)
+            if not bucket:
+                del self._buckets[band][key]
 
     def query(self, signature: np.ndarray) -> set:
         """All items sharing at least one band bucket with ``signature``."""

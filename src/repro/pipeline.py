@@ -46,15 +46,64 @@ def prepare_candidates(
     min_union_shared: float = 0.5,
     sample_size: int = 100,
     seed: int = 0,
+    catalog=None,
 ) -> list:
     """Discovery + materialization + profiling in one call.
 
     Returns profiled :class:`~repro.discovery.candidates.Candidate`
     objects, the common input of METAM and every baseline.
+
+    ``catalog`` (a :class:`repro.catalog.Catalog`) switches the call to
+    warm-start mode: the discovery index is hydrated from the catalog
+    (incrementally refreshed against ``corpus``, so only new or changed
+    tables are signed) and profile vectors are served from its cache.  The
+    catalog's own *index* configuration then applies — ``min_containment``
+    here only governs the cold path.  ``seed`` keeps governing profile
+    sampling in both modes (and is part of the profile-cache key, so reuse
+    the seed of earlier runs to hit their cached vectors).
     """
     registry = registry or default_registry()
-    index = DiscoveryIndex(min_containment=min_containment, seed=seed)
-    index.build(corpus.values())
+    cache = None
+    if catalog is not None:
+        overridden = []
+        if catalog.config["min_containment"] != min_containment:
+            overridden.append(
+                f"min_containment={catalog.config['min_containment']} "
+                f"(requested {min_containment})"
+            )
+        if catalog.config["seed"] != seed:
+            overridden.append(
+                f"index seed={catalog.config['seed']} (requested {seed}; "
+                f"the requested seed still governs profile sampling)"
+            )
+        if overridden:
+            import warnings
+
+            warnings.warn(
+                "catalog config overrides the requested values for "
+                "discovery in warm-start mode: " + ", ".join(overridden),
+                stacklevel=2,
+            )
+        diff = catalog.refresh(corpus)
+        if (
+            catalog.store is not None
+            and (diff.added or diff.updated)
+            and not catalog.removed_since_save
+        ):
+            # Keep the on-disk manifest/snapshot current, so the next
+            # process warm-starts from the packed snapshot instead of
+            # re-deriving state the objects already hold.  Only additive
+            # changes are persisted implicitly: a partial corpus (e.g. a
+            # filtered experiment) must not silently shrink the saved
+            # catalog — persisting removals requires an explicit save().
+            catalog.save()
+        index = catalog.index
+        cache = catalog.profile_cache(
+            base, registry, sample_size=sample_size, seed=seed
+        )
+    else:
+        index = DiscoveryIndex(min_containment=min_containment, seed=seed)
+        index.build(corpus.values())
     augmentations = generate_candidates(
         base, index, max_hops=max_hops, max_fanout=max_fanout
     )
@@ -69,7 +118,13 @@ def prepare_candidates(
                 )
             )
     return profile_candidates(
-        candidates, base, corpus, registry, sample_size=sample_size, seed=seed
+        candidates,
+        base,
+        corpus,
+        registry,
+        sample_size=sample_size,
+        seed=seed,
+        cache=cache,
     )
 
 

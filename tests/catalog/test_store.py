@@ -1,0 +1,174 @@
+"""Tests for the content-addressed catalog store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.catalog import CatalogStore, table_fingerprint
+from repro.catalog.store import VERSION, CatalogStoreError
+from repro.dataframe.table import Table
+from repro.discovery.index import ColumnEntry
+
+
+def make_entry(values, num_perm=8):
+    from repro.discovery.minhash import MinHasher
+
+    distinct = frozenset(values)
+    return ColumnEntry(
+        distinct=distinct,
+        normalized=frozenset(v.strip().lower() for v in distinct),
+        signature=MinHasher(num_perm=num_perm).signature(distinct),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CatalogStore(str(tmp_path / "cat"))
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = Table("t", {"x": [1, 2], "y": ["a", None]})
+        b = Table("t", {"x": [1, 2], "y": ["a", None]})
+        assert table_fingerprint(a) == table_fingerprint(b)
+
+    def test_sensitive_to_content_name_and_type(self):
+        base = Table("t", {"x": [1, 2]})
+        assert table_fingerprint(base) != table_fingerprint(Table("t", {"x": [1, 3]}))
+        assert table_fingerprint(base) != table_fingerprint(Table("u", {"x": [1, 2]}))
+        assert table_fingerprint(base) != table_fingerprint(Table("t", {"x": ["1", "2"]}))
+        assert table_fingerprint(base) != table_fingerprint(Table("t", {"x": [1.0, 2.0]}))
+
+    def test_sensitive_to_column_rename(self):
+        assert table_fingerprint(Table("t", {"x": [1]})) != table_fingerprint(
+            Table("t", {"y": [1]})
+        )
+
+
+class TestObjects:
+    def test_entries_hashable(self):
+        a, b = make_entry({"a", "b"}), make_entry({"a", "b"})
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_roundtrip(self, store):
+        entries = {"c1": make_entry({"a", "b"}), "c2": make_entry({"X ", "y"})}
+        store.write_object("fp1", {"name": "t"}, entries)
+        meta, loaded = store.read_object("fp1")
+        assert meta == {"name": "t"}
+        assert loaded == entries
+        assert loaded["c2"].normalized == frozenset({"x", "y"})
+
+    def test_missing_object_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read_object("nope")
+
+    def test_gc_keeps_live(self, store):
+        store.write_object("live", {}, {"c": make_entry({"a"})})
+        store.write_object("dead", {}, {"c": make_entry({"b"})})
+        assert store.gc(["live"]) == 1
+        assert store.list_objects() == ["live"]
+
+
+class TestManifest:
+    def test_roundtrip(self, store):
+        assert store.read_manifest() is None
+        store.write_manifest({"num_perm": 8}, {"t": "fp"})
+        manifest = store.read_manifest()
+        assert manifest["version"] == VERSION
+        assert manifest["config"] == {"num_perm": 8}
+        assert manifest["tables"] == {"t": "fp"}
+
+    def test_version_mismatch_rejected(self, store, tmp_path):
+        store.write_manifest({}, {})
+        import json
+
+        payload = json.load(open(store.manifest_path))
+        payload["version"] = 99
+        json.dump(payload, open(store.manifest_path, "w"))
+        with pytest.raises(CatalogStoreError):
+            store.read_manifest()
+
+
+class TestSnapshot:
+    def test_roundtrip(self, store):
+        rows = [
+            ("t1", "fp1", "a", np.arange(8, dtype=np.uint64)),
+            ("t1", "fp1", "b", np.arange(8, 16, dtype=np.uint64)),
+            ("t2", "fp2", "a", np.arange(16, 24, dtype=np.uint64)),
+        ]
+        store.write_snapshot(rows)
+        snap = store.read_snapshot()
+        assert set(snap) == {"t1", "t2"}
+        fingerprint, signatures = snap["t1"]
+        assert fingerprint == "fp1"
+        assert np.array_equal(signatures["b"], rows[1][3])
+
+    def test_absent_snapshot_is_none(self, store):
+        assert store.read_snapshot() is None
+
+    def test_corrupt_snapshot_treated_as_absent(self, store):
+        import os
+
+        os.makedirs(store.root, exist_ok=True)
+        with open(store.snapshot_path, "wb") as handle:
+            handle.write(b"not an npz file")
+        assert store.read_snapshot() is None
+
+    def test_corrupt_object_raises_store_error(self, store):
+        store.write_object("fp", {}, {"c": make_entry({"a"})})
+        path = store._object_path("fp")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(CatalogStoreError):
+            store.read_object("fp")
+        with open(path, "w") as handle:
+            handle.write('{"meta": {}, "columns": {"c": {}}}')
+        with pytest.raises(CatalogStoreError):
+            store.read_object("fp")
+        # JSON-valid but wrong-typed signature data is corruption too.
+        with open(path, "w") as handle:
+            handle.write(
+                '{"meta": {}, "columns": {"c": {"distinct": [],'
+                ' "signature": ["abc"]}}}'
+            )
+        with pytest.raises(CatalogStoreError):
+            store.read_object("fp")
+
+
+class TestProfiles:
+    def test_roundtrip_and_overwrite(self, store):
+        store.write_profiles("base", {"k1": np.array([0.1, 0.9])})
+        loaded = store.read_profiles("base")
+        assert np.allclose(loaded["k1"], [0.1, 0.9])
+        store.write_profiles("base", {**loaded, "k2": np.array([0.5])})
+        assert set(store.read_profiles("base")) == {"k1", "k2"}
+
+    def test_unknown_base_is_empty(self, store):
+        assert store.read_profiles("missing") == {}
+
+    def test_corrupt_profiles_degrade_to_empty(self, store):
+        store.write_profiles("base", {"k": np.array([0.5])})
+        with open(store._profile_path("base"), "w") as handle:
+            handle.write("{broken")
+        assert store.read_profiles("base") == {}
+        with open(store._profile_path("base"), "w") as handle:
+            handle.write('{"entries": {"k": ["abc"]}}')
+        assert store.read_profiles("base") == {}
+        # And the next flush repairs the file.
+        store.write_profiles("base", {"k2": np.array([0.7])})
+        assert set(store.read_profiles("base")) == {"k2"}
+
+
+class TestStats:
+    def test_counts_and_footprint(self, store):
+        store.write_manifest({"num_perm": 8}, {"t": "fp"})
+        store.write_object("fp", {}, {"c": make_entry({"a"})})
+        store.write_profiles("base", {"k": np.array([0.5])})
+        stats = store.stats()
+        assert stats["tables"] == 1
+        assert stats["objects"] == 1
+        assert stats["profile_entries"] == 1
+        assert stats["disk_bytes"] > 0
+        assert os.path.isdir(store.root)

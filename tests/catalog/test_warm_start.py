@@ -1,0 +1,164 @@
+"""Warm-start equivalence: catalog-served discovery == cold build."""
+
+import numpy as np
+import pytest
+
+from repro import prepare_candidates
+from repro.catalog import Catalog, CatalogStore
+from repro.data import housing_scenario
+from repro.profiles.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return housing_scenario(seed=0)
+
+
+def build_catalog(tmp_path, scenario):
+    catalog = Catalog(CatalogStore(str(tmp_path / "cat")), min_containment=0.3, seed=0)
+    catalog.refresh(scenario.corpus)
+    catalog.save()
+    return catalog
+
+
+class TestWarmStartEquivalence:
+    def test_candidates_and_profiles_identical(self, tmp_path, scenario):
+        cold = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+        build_catalog(tmp_path, scenario)
+
+        warm_catalog = Catalog.load(str(tmp_path / "cat"), corpus=scenario.corpus)
+        warm = prepare_candidates(
+            scenario.base, scenario.corpus, seed=0, catalog=warm_catalog
+        )
+        assert warm_catalog.computed_columns == 0
+        assert [c.aug_id for c in warm] == [c.aug_id for c in cold]
+        assert [c.overlap for c in warm] == [c.overlap for c in cold]
+        for cold_c, warm_c in zip(cold, warm):
+            assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
+
+    def test_second_run_hits_profile_cache(self, tmp_path, scenario):
+        catalog = build_catalog(tmp_path, scenario)
+        registry = default_registry()
+        prepare_candidates(
+            scenario.base, scenario.corpus, registry=registry, seed=0, catalog=catalog
+        )
+        warm_catalog = Catalog.load(str(tmp_path / "cat"), corpus=scenario.corpus)
+        cache = warm_catalog.profile_cache(scenario.base, registry, seed=0)
+        assert len(cache) > 0
+        warm = prepare_candidates(
+            scenario.base, scenario.corpus, registry=registry, seed=0,
+            catalog=warm_catalog,
+        )
+        assert len(warm) == len(cache)
+
+    def test_stale_table_triggers_reprofile(self, tmp_path, scenario):
+        catalog = build_catalog(tmp_path, scenario)
+        registry = default_registry()
+        candidates = prepare_candidates(
+            scenario.base, scenario.corpus, registry=registry, seed=0, catalog=catalog
+        )
+        touched = candidates[0].aug.final_table
+
+        # Perturb one repository table's content.
+        corpus = dict(scenario.corpus)
+        changed = corpus[touched].copy()
+        changed.column(changed.column_names[-1])[0] = 123456.789
+        corpus[touched] = changed
+
+        warm_catalog = Catalog.load(str(tmp_path / "cat"), corpus=corpus)
+        cache = warm_catalog.profile_cache(scenario.base, registry, seed=0)
+        hits_before = cache.hits
+        for candidate in candidates:
+            vector = cache.get(candidate)
+            if candidate.aug.final_table == touched:
+                assert vector is None, "stale table served a cached profile"
+        assert cache.misses > 0
+        assert cache.hits >= hits_before
+
+    def test_warm_mode_persists_manifest_without_explicit_save(
+        self, tmp_path, scenario
+    ):
+        catalog = Catalog(
+            CatalogStore(str(tmp_path / "auto")), min_containment=0.3, seed=0
+        )
+        prepare_candidates(
+            scenario.base, scenario.corpus, seed=0, catalog=catalog
+        )  # no catalog.save()
+        loaded = Catalog.load(str(tmp_path / "auto"))
+        diff = loaded.refresh(scenario.corpus)
+        assert not diff.changed  # manifest/snapshot were saved automatically
+
+    def test_partial_corpus_does_not_shrink_saved_catalog(self, tmp_path, scenario):
+        catalog = build_catalog(tmp_path, scenario)
+        full = dict(scenario.corpus)
+        dropped = sorted(full)[0]
+        partial = {n: t for n, t in full.items() if n != dropped}
+        # Warm discovery over a filtered corpus must not persist removals.
+        warm_catalog = Catalog.load(str(tmp_path / "cat"))
+        prepare_candidates(scenario.base, partial, seed=0, catalog=warm_catalog)
+        manifest = warm_catalog.store.read_manifest()
+        assert dropped in manifest["tables"]
+        # Not even via a later additive run in the same process.
+        grown = dict(partial)
+        grown["brand_new"] = scenario.base.copy(name="brand_new")
+        prepare_candidates(scenario.base, grown, seed=0, catalog=warm_catalog)
+        manifest = warm_catalog.store.read_manifest()
+        assert dropped in manifest["tables"]
+        assert "brand_new" not in manifest["tables"]  # save was withheld
+        # An explicit save persists the caller's intent, removals included.
+        warm_catalog.save()
+        manifest = warm_catalog.store.read_manifest()
+        assert dropped not in manifest["tables"]
+        assert "brand_new" in manifest["tables"]
+
+    def test_open_warns_on_ignored_config(self, tmp_path, scenario):
+        import warnings
+
+        path = str(tmp_path / "cfg")
+        Catalog.open(path, corpus=scenario.corpus, num_perm=32, bands=8).save()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reopened = Catalog.open(path, num_perm=64)
+        assert reopened.config["num_perm"] == 32
+        assert any("stored config" in str(w.message) for w in caught)
+
+    def test_containment_mismatch_warns(self, tmp_path, scenario):
+        import warnings
+
+        catalog = build_catalog(tmp_path, scenario)  # min_containment=0.3
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prepare_candidates(
+                scenario.base, scenario.corpus, min_containment=0.6,
+                seed=0, catalog=catalog,
+            )
+        assert any("min_containment" in str(w.message) for w in caught)
+
+    def test_registry_hyperparameters_invalidate_cache(self, tmp_path, scenario):
+        catalog = build_catalog(tmp_path, scenario)
+        seeded_a = default_registry().with_random_profiles(2, seed=0)
+        candidates = prepare_candidates(
+            scenario.base, scenario.corpus, registry=seeded_a, seed=0,
+            catalog=catalog,
+        )
+        # Same profile *names*, different hyperparameters: the cache must
+        # miss, not serve the other registry's vectors.
+        seeded_b = default_registry().with_random_profiles(2, seed=123)
+        cache = catalog.profile_cache(scenario.base, seeded_b, seed=0)
+        assert all(cache.get(c) is None for c in candidates)
+        # While the identical registry config hits.
+        same = default_registry().with_random_profiles(2, seed=0)
+        cache = catalog.profile_cache(scenario.base, same, seed=0)
+        assert all(cache.get(c) is not None for c in candidates)
+
+    def test_changed_base_table_misses_cache(self, tmp_path, scenario):
+        catalog = build_catalog(tmp_path, scenario)
+        registry = default_registry()
+        candidates = prepare_candidates(
+            scenario.base, scenario.corpus, registry=registry, seed=0, catalog=catalog
+        )
+        other_base = scenario.base.with_column(
+            "extra", [0.0] * scenario.base.num_rows
+        )
+        cache = catalog.profile_cache(other_base, registry, seed=0)
+        assert all(cache.get(c) is None for c in candidates)

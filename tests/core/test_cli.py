@@ -71,3 +71,103 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "#Tables" in out
         assert "12" in out
+
+
+class TestCatalogCommands:
+    def test_build_update_stats_cycle(self, capsys, tmp_path):
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "+8 added" in out
+
+        # Same corpus again: everything unchanged, nothing signed.
+        assert main(["catalog", "update", path, "--tables", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "=8 unchanged" in out
+        assert "0 columns signed" in out
+
+        # Larger corpus: only the new tables are signed.
+        assert main(["catalog", "update", path, "--tables", "10", "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "+2 added" in out and "=8 unchanged" in out
+
+        assert main(["catalog", "stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "tables          10" in out
+
+    def test_build_refuses_api_built_catalog(self, capsys, tmp_path):
+        from repro.catalog import Catalog, CatalogStore
+        from repro.dataframe.table import Table
+
+        path = str(tmp_path / "api-cat")
+        catalog = Catalog(CatalogStore(path), seed=0)
+        catalog.refresh({"real": Table("real", {"key": ["a", "b"]})})
+        catalog.save()
+        # Built outside the CLI (no recorded corpus params): build must
+        # refuse instead of replacing the real tables with synthetic ones.
+        assert main(["catalog", "build", path]) == 1
+        assert "outside the CLI" in capsys.readouterr().out
+        manifest = CatalogStore(path).read_manifest()
+        assert "real" in manifest["tables"]
+
+    def test_rebuild_with_different_corpus_refused(self, capsys, tmp_path):
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "6", "--seed", "7"]) == 0
+        capsys.readouterr()
+        # Same corpus definition: idempotent rebuild is allowed.
+        assert main(["catalog", "build", path, "--tables", "6", "--seed", "7"]) == 0
+        capsys.readouterr()
+        # Different corpus definition: refuse instead of replacing tables.
+        assert main(["catalog", "build", path, "--tables", "6", "--seed", "9"]) == 1
+        assert "use 'catalog update'" in capsys.readouterr().out
+
+    def test_update_refuses_without_recorded_corpus_params(self, capsys, tmp_path):
+        import os
+
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "6", "--seed", "7"]) == 0
+        os.remove(os.path.join(path, "cli_corpus.json"))
+        capsys.readouterr()
+        # No recorded params and no flags: refuse rather than regenerate a
+        # different corpus and churn the catalog.
+        assert main(["catalog", "update", path]) == 1
+        assert "no recorded corpus parameters" in capsys.readouterr().out
+        # Explicit flags still work.
+        assert main(
+            ["catalog", "update", path, "--tables", "6", "--seed", "7",
+             "--style", "open_data"]
+        ) == 0
+        assert "=6 unchanged" in capsys.readouterr().out
+
+    def test_update_defaults_to_build_corpus_params(self, capsys, tmp_path):
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "6", "--seed", "7"]) == 0
+        capsys.readouterr()
+        # Bare update must reuse tables=6/seed=7, not regenerate with the
+        # build defaults and re-sign everything.
+        assert main(["catalog", "update", path]) == 0
+        out = capsys.readouterr().out
+        assert "=6 unchanged" in out
+        assert "0 columns signed" in out
+
+    def test_stats_missing_catalog(self, capsys, tmp_path):
+        assert main(["catalog", "stats", str(tmp_path / "none")]) == 1
+
+    def test_invalid_index_params_report_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["catalog", "build", str(tmp_path / "c"), "--num-perm", "60"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_corrupt_manifest_reports_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "cat"
+        path.mkdir()
+        (path / "manifest.json").write_text("garbage")
+        for command in ("stats", "update", "build"):
+            assert main(["catalog", command, str(path)]) == 1
+            assert "error: corrupt catalog manifest" in capsys.readouterr().out
+
+    def test_catalog_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["catalog"])

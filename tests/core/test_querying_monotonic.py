@@ -103,6 +103,20 @@ class TestQueryEngine:
         assert a == b == 0.7
         assert engine.queries == 1
 
+    def test_cached_utility_returns_memoized(self):
+        engine = make_engine({("aug0",): 0.9})
+        assert engine.cached_utility({"aug0"}) is None
+        engine.utility({"aug0"})
+        assert engine.cached_utility({"aug0"}) == 0.9
+        assert engine.cached_utility(["aug0"]) == 0.9  # any iterable
+
+    def test_cached_utility_spends_no_query(self):
+        engine = make_engine({}, budget=1)
+        engine.utility({"aug0"})
+        engine.cached_utility({"aug1"})
+        engine.cached_utility({"aug0"})
+        assert engine.queries == 1  # lookups never queried the task
+
 
 class TestMonotoneState:
     def test_accepts_improving(self):

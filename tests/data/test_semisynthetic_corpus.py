@@ -81,3 +81,23 @@ class TestCorpus:
         index = DiscoveryIndex(min_containment=0.2, seed=0).build(corpus)
         stats = corpus_characteristics(corpus, index)
         assert stats["joinable_columns"] > 0
+
+    def test_size_sampling_matches_exact_count(self):
+        corpus = generate_corpus(10, seed=0)
+        exact = corpus_characteristics(corpus, size_sample=10**9)["size_bytes"]
+        sampled = corpus_characteristics(corpus, size_sample=50)["size_bytes"]
+        assert exact > 0
+        # Evenly-spaced sampling over homogeneous synthetic columns stays
+        # within a few percent of the exact cell-by-cell count.
+        assert abs(sampled - exact) / exact < 0.05
+
+    def test_size_sampling_deterministic(self):
+        corpus = generate_corpus(8, seed=0)
+        a = corpus_characteristics(corpus, size_sample=30)["size_bytes"]
+        b = corpus_characteristics(corpus, size_sample=30)["size_bytes"]
+        assert a == b
+
+    def test_size_sample_zero_means_exact(self):
+        corpus = generate_corpus(5, seed=0)
+        exact = corpus_characteristics(corpus, size_sample=10**9)["size_bytes"]
+        assert corpus_characteristics(corpus, size_sample=0)["size_bytes"] == exact
