@@ -1,0 +1,194 @@
+"""Sharded catalog at corpus scale: latency flatness + codec footprint.
+
+The production claims of the sharded store, measured 200 → 2000 tables:
+
+1. **Warm-start latency holds flat per table** — hydrating a saved
+   catalog costs O(1) per table regardless of store size (hash-prefix
+   shards keep directory operations and manifests bounded), so the
+   per-table warm-start cost at 2000 tables must stay within 1.5× of the
+   200-table figure.
+2. **Catalog-backed stats latency holds flat per table** — the Table-I
+   report (``corpus_stats``) runs from disk artifacts alone, and its
+   per-table cost must scale the same way.
+3. **The binary codec shrinks objects ≥ 3×** versus the legacy JSON
+   encoding of identical content.
+4. **A layout-v1 store opens transparently** with byte-identical
+   ``prepare_candidates`` output (the warm-start bench already pins
+   v2-warm == cold, so v1-warm == v2-warm closes the loop).
+"""
+
+import contextlib
+import gc
+import json
+import os
+import shutil
+import time
+
+import numpy as np
+
+from benchmarks.common import report, scaled
+from repro import prepare_candidates
+from repro.catalog import Catalog, CatalogStore
+from repro.catalog.store import CODECS
+from repro.data import generate_corpus
+from repro.data.generator import make_keys
+from repro.dataframe.table import Table
+
+SEED = 0
+
+
+def _base_table(n_rows: int = 150, n_pools: int = 4) -> Table:
+    rng = np.random.default_rng(SEED)
+    columns = {
+        f"key_{p}": make_keys(n_rows, prefix=f"k{p}_", start=0)
+        for p in range(n_pools)
+    }
+    columns["signal"] = rng.normal(size=n_rows).tolist()
+    return Table("bench_base", columns)
+
+
+def _downgrade_to_v1(store: CatalogStore) -> None:
+    """Rewrite a v2 store as the PR-1 flat JSON layout (objects +
+    manifest; the snapshot format never changed)."""
+    for fingerprint in store.list_objects():
+        meta, entries = store.read_object(fingerprint)
+        with open(store._legacy_object_path(fingerprint), "wb") as handle:
+            handle.write(CODECS[1].encode(meta, entries))
+    objects_dir = os.path.join(store.root, "objects")
+    for name in os.listdir(objects_dir):
+        path = os.path.join(objects_dir, name)
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+    manifest = json.load(open(store.manifest_path))
+    manifest["version"] = 1
+    json.dump(manifest, open(store.manifest_path, "w"), indent=1, sort_keys=True)
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Cyclic-GC pause for timed sections: full collections are O(live
+    heap), so with a 2000-table corpus resident they contaminate the
+    per-table latency of whatever phase they happen to land in.  The
+    flatness claim is about store structure, not interpreter heap size."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _measure(n_tables: int, root: str) -> dict:
+    corpus = {t.name: t for t in generate_corpus(n_tables, seed=SEED)}
+    start = time.perf_counter()
+    catalog = Catalog(CatalogStore(root), min_containment=0.3, seed=SEED)
+    catalog.refresh(corpus)
+    catalog.save()
+    build_time = time.perf_counter() - start
+
+    store = catalog.store
+    binary_bytes = json_bytes = 0
+    for fingerprint in store.list_objects():
+        binary_bytes += os.path.getsize(store._object_path(fingerprint))
+        meta, entries = store.read_object(fingerprint)
+        json_bytes += len(CODECS[1].encode(meta, entries))
+
+    # Warm start (fresh-process simulation): best of 3 so a transient
+    # load spike doesn't distort the flatness ratio.
+    warm_time = float("inf")
+    with _gc_paused():
+        for _rep in range(3):
+            start = time.perf_counter()
+            loaded = Catalog.load(root, corpus=corpus)
+            warm_time = min(warm_time, time.perf_counter() - start)
+            assert loaded.computed_columns == 0, "warm start re-signed columns"
+
+    # Catalog-backed Table-I report, from disk artifacts alone.
+    stats_time = float("inf")
+    with _gc_paused():
+        for _rep in range(3):
+            fresh = Catalog.load(root)  # no corpus attached at all
+            start = time.perf_counter()
+            stats = fresh.corpus_stats()
+            stats_time = min(stats_time, time.perf_counter() - start)
+    assert stats["tables"] == n_tables
+
+    return {
+        "n_tables": n_tables,
+        "corpus": corpus,
+        "build": build_time,
+        "warm": warm_time,
+        "stats": stats_time,
+        "joinable": stats["joinable_columns"],
+        "binary_bytes": binary_bytes,
+        "json_bytes": json_bytes,
+    }
+
+
+def test_catalog_shard_scale(benchmark, tmp_path):
+    sizes = [scaled(200), scaled(2000)]
+    base = _base_table()
+
+    def run() -> dict:
+        results = [
+            _measure(n, str(tmp_path / f"cat_{n}")) for n in sizes
+        ]
+
+        # v1 compatibility at the small size: byte-identical output.
+        small = results[0]
+        v2_root = str(tmp_path / f"cat_{small['n_tables']}")
+        v1_root = str(tmp_path / "cat_v1")
+        shutil.copytree(v2_root, v1_root)
+        _downgrade_to_v1(CatalogStore(v1_root))
+        v2_candidates = prepare_candidates(
+            base, small["corpus"], seed=SEED,
+            catalog=Catalog.load(v2_root, corpus=small["corpus"]),
+        )
+        v1_catalog = Catalog.load(v1_root, corpus=small["corpus"])
+        v1_candidates = prepare_candidates(
+            base, small["corpus"], seed=SEED, catalog=v1_catalog
+        )
+        assert v1_catalog.computed_columns == 0, "v1 store was re-signed"
+        assert [c.aug_id for c in v1_candidates] == [
+            c.aug_id for c in v2_candidates
+        ]
+        for v2_c, v1_c in zip(v2_candidates, v1_candidates):
+            assert np.array_equal(v2_c.profile_vector, v1_c.profile_vector)
+        for entry in results:
+            entry.pop("corpus")
+        return {"results": results, "v1_candidates": len(v1_candidates)}
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = r["results"]
+    small, large = results[0], results[-1]
+    per_table = lambda entry, key: entry[key] / entry["n_tables"]  # noqa: E731
+    warm_ratio = per_table(large, "warm") / per_table(small, "warm")
+    stats_ratio = per_table(large, "stats") / per_table(small, "stats")
+    size_ratio = large["json_bytes"] / max(1, large["binary_bytes"])
+
+    lines = [
+        f"{'tables':>8} {'build':>9} {'warm':>9} {'warm/tbl':>10} "
+        f"{'stats':>9} {'stats/tbl':>10} {'bin KB':>9} {'json KB':>9}",
+    ]
+    for entry in results:
+        lines.append(
+            f"{entry['n_tables']:8d} {entry['build']:8.2f}s "
+            f"{entry['warm']:8.3f}s {per_table(entry, 'warm') * 1e3:9.4f}ms "
+            f"{entry['stats']:8.3f}s {per_table(entry, 'stats') * 1e3:9.4f}ms "
+            f"{entry['binary_bytes'] / 1024:9.0f} {entry['json_bytes'] / 1024:9.0f}"
+        )
+    lines += [
+        f"warm-start per-table latency ratio {small['n_tables']}→"
+        f"{large['n_tables']} tables: {warm_ratio:.2f}x (target <= 1.5x)",
+        f"stats per-table latency ratio: {stats_ratio:.2f}x (target <= 1.5x)",
+        f"binary objects {size_ratio:.2f}x smaller than JSON (target >= 3x)",
+        f"v1 store served {r['v1_candidates']} byte-identical candidates "
+        "without re-signing",
+    ]
+    report("catalog_shard_scale", lines)
+
+    assert warm_ratio <= 1.5, f"warm-start latency not flat: {warm_ratio:.2f}x"
+    assert stats_ratio <= 1.5, f"stats latency not flat: {stats_ratio:.2f}x"
+    assert size_ratio >= 3.0, f"binary only {size_ratio:.2f}x smaller than JSON"

@@ -6,6 +6,34 @@ per-table artifacts (distinct-value sets, MinHash signatures, metadata,
 profile vectors) plus a :class:`Catalog` facade that maintains a live
 :class:`~repro.discovery.index.DiscoveryIndex` incrementally and
 warm-starts discovery runs from disk instead of re-indexing the corpus.
+
+Store layout (version 2)
+    Objects and profile groups are sharded into 256 hash-prefix
+    directories (``objects/ab/<fp>.bin``), each with an advisory
+    per-shard manifest, so no directory or manifest grows unboundedly as
+    the corpus scales; version-1 flat layouts are read through
+    transparently and migrate in place via :meth:`CatalogStore.migrate`
+    (CLI: ``repro catalog build --migrate``).
+
+Codec versioning
+    Column entries serialize through a versioned
+    :class:`~repro.catalog.store.Codec`: version 2 is a packed,
+    zlib-deflated binary format several times smaller than version 1's
+    JSON, which stays registered as a legacy decoder forever.  Readers
+    pick the codec per file, so mixed-codec stores are fine.
+
+Eviction knobs
+    Cached profile groups are LRU-tracked (byte size + last-touch time
+    in the shard manifests).  ``CatalogStore(profile_budget_bytes=...)``
+    enforces a size budget on every flush;
+    :meth:`Catalog.evict_profiles` / ``repro catalog gc
+    --profile-budget`` enforce it on demand.
+
+Catalog-backed reports
+    :meth:`Catalog.corpus_stats` serves the Table-I corpus report
+    entirely from disk artifacts (object metadata + stored signatures
+    and value sets) — no corpus loading, no column re-signing; only a
+    transient LSH over the stored signatures is rebuilt in memory.
 """
 
 from repro.catalog.catalog import Catalog, CatalogDiff, ProfileCache
@@ -13,9 +41,17 @@ from repro.catalog.fingerprint import (
     config_fingerprint,
     profile_key,
     registry_fingerprint,
+    shard_of,
     table_fingerprint,
 )
-from repro.catalog.store import CatalogStore, CatalogStoreError
+from repro.catalog.store import (
+    CODECS,
+    BinaryCodec,
+    CatalogStore,
+    CatalogStoreError,
+    Codec,
+    JsonCodec,
+)
 
 __all__ = [
     "Catalog",
@@ -23,8 +59,13 @@ __all__ = [
     "ProfileCache",
     "CatalogStore",
     "CatalogStoreError",
+    "Codec",
+    "JsonCodec",
+    "BinaryCodec",
+    "CODECS",
     "table_fingerprint",
     "config_fingerprint",
     "profile_key",
     "registry_fingerprint",
+    "shard_of",
 ]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.catalog.fingerprint import (
     config_fingerprint,
     profile_key,
@@ -27,6 +29,7 @@ from repro.catalog.fingerprint import (
 from repro.catalog.store import CatalogStore, CatalogStoreError
 from repro.dataframe.table import Table
 from repro.discovery.index import ColumnRef, DiscoveryIndex
+from repro.discovery.lsh import LshIndex
 
 
 @dataclass
@@ -228,6 +231,9 @@ class Catalog:
                 "source": table.source,
                 "num_rows": table.num_rows,
                 "column_names": table.column_names,
+                # Recorded so Table-I corpus reports can run from disk
+                # artifacts alone (see corpus_stats) without the corpus.
+                "size_bytes": table.estimated_byte_size(),
             }
             # Freshly derived content may be healing a corrupt file with
             # the same address, so force the write.
@@ -525,6 +531,125 @@ class Catalog:
             seed=seed,
             store=self.store,
         )
+
+    def joinable_count(self, table) -> int:
+        """Table-I '#Joinable Columns' for one table.
+
+        Pass a live :class:`Table` to query with freshly computed
+        signatures, or the *name* of a table hydrated in this catalog's
+        live index to count from stored entries instead (no raw value
+        access).  Names require a hydrated index — a catalog loaded
+        without a corpus raises ``KeyError``; use :meth:`corpus_stats`
+        for store-only reporting.
+        """
+        return self._index.joinable_count(table)
+
+    def evict_profiles(self, budget_bytes: int):
+        """Evict least-recently-used cached profile groups until the
+        profile section fits ``budget_bytes``; returns
+        ``(evicted_groups, freed_bytes)``."""
+        if self.store is None:
+            return (0, 0)
+        return self.store.evict_profiles(budget_bytes)
+
+    def corpus_stats(self, size_sample: int = 1000) -> dict:
+        """Table-I corpus characteristics served from disk artifacts.
+
+        Runs entirely against the store — persisted object metadata for
+        table/column/size counts, stored signatures + normalized value
+        sets for the joinable count — so no raw corpus is loaded and no
+        column is ever re-signed.  A transient LSH index over the stored
+        signatures (plus every table's decoded value sets) is held in
+        memory for the joinable pass, so peak memory scales with the
+        catalog's artifacts; batching that pass for ≫10⁴-table catalogs
+        is a noted follow-up.  Tables
+        live in this process fall back to their in-memory artifacts; a
+        missing or corrupt object heals by recomputation when its live
+        table is attached and raises :class:`CatalogStoreError` otherwise
+        (never a silently wrong report).
+
+        Sizes of purely-persisted tables were estimated at signing time
+        (with the default sample); ``size_sample`` only governs live
+        fallbacks.  Matches :func:`repro.data.corpus_characteristics`
+        exactly whenever column values are already normalized (no
+        leading/trailing whitespace or uppercase — true of the synthetic
+        corpora) and no column was down-sampled at indexing time.
+        """
+        if self.store is None:
+            raise CatalogStoreError("catalog has no store attached")
+        combined = {**self._persisted, **self._fingerprints}
+        config = self.config
+        lsh = LshIndex(num_perm=config["num_perm"], bands=config["bands"])
+        threshold = config["min_containment"]
+        entries_by_table = {}
+        n_columns = 0
+        size_bytes = 0
+        unsized = []
+        for name in sorted(combined):
+            object_id = self._object_id(combined[name])
+            live = self._index.get_table(name) if name in self._fingerprints else None
+            try:
+                meta, entries = self.store.read_object(object_id)
+                size = meta.get("size_bytes")
+                if size is None:
+                    # Object written before sizes were recorded (a
+                    # pre-layout-v2 store): estimate live if possible,
+                    # otherwise count the table as unsized and warn
+                    # below — never silently under-report.
+                    if live is not None:
+                        size = live.estimated_byte_size(size_sample)
+                    else:
+                        size = 0
+                        unsized.append(name)
+            except (KeyError, CatalogStoreError):
+                if live is None:
+                    raise CatalogStoreError(
+                        f"corpus stats need catalog object {object_id!r} for "
+                        f"table {name!r}, which is missing or corrupt, and no "
+                        "live table is attached to recompute it"
+                    ) from None
+                entries = self._compute_and_persist(live, object_id)
+                size = live.estimated_byte_size(size_sample)
+            entries_by_table[name] = entries
+            n_columns += len(entries)
+            size_bytes += int(size)
+            refs = [ColumnRef(name, column) for column in entries]
+            if refs:
+                lsh.insert_many(
+                    refs, np.stack([entries[ref.column].signature for ref in refs])
+                )
+        if unsized:
+            import warnings
+
+            warnings.warn(
+                f"{len(unsized)} catalog object(s) predate size recording; "
+                "size_bytes under-reports their tables — refresh against "
+                "the corpus (or re-sign via 'catalog update') to record "
+                "sizes",
+                stacklevel=2,
+            )
+        joinable = set()
+        for name, entries in entries_by_table.items():
+            for entry in entries.values():
+                query = entry.normalized
+                if not query:
+                    continue
+                for ref in lsh.query(entry.signature):
+                    # Once a candidate column is counted it stays counted,
+                    # so skip re-verifying it for later query columns —
+                    # this keeps the verification volume near-linear on
+                    # join-dense corpora.
+                    if ref.table == name or ref in joinable:
+                        continue
+                    candidate = entries_by_table[ref.table][ref.column]
+                    if len(query & candidate.normalized) / len(query) >= threshold:
+                        joinable.add(ref)
+        return {
+            "tables": len(combined),
+            "columns": n_columns,
+            "joinable_columns": len(joinable),
+            "size_bytes": size_bytes,
+        }
 
     def stats(self) -> dict:
         """In-memory + on-disk statistics."""

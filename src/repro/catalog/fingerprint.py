@@ -15,6 +15,18 @@ import json
 _MISSING = b"\x00\x00"
 
 
+def shard_of(key: str) -> str:
+    """Two-hex-digit shard prefix for an on-disk artifact key.
+
+    Hashes the whole key instead of slicing it: object ids are
+    ``<config fp>-<table fp>`` strings whose leading characters are
+    identical for every object of one catalog, so a naive prefix would
+    put the entire store in a single shard.  256 shards keep directory
+    sizes and per-shard manifests bounded at any corpus scale.
+    """
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=1).hexdigest()
+
+
 def table_fingerprint(table) -> str:
     """Hex digest of a table's full content (name, source, schema, cells).
 

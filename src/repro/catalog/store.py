@@ -1,42 +1,385 @@
-"""Content-addressed on-disk store backing the persistent catalog.
+"""Sharded, size-budgeted on-disk store backing the persistent catalog.
 
-Layout under the store root::
+Layout under the store root (layout version 2)::
 
-    manifest.json          catalog config + {table name: fingerprint} snapshot
-    objects/<fp>.json      per-table derived artifacts (distinct sets,
-                           MinHash signatures, metadata), addressed by the
-                           fingerprint of the source table
-    profiles/<fp>.json     cached profile vectors, grouped by the
-                           fingerprint of the base (query) table
+    manifest.json               catalog config + {table name: fingerprint}
+    objects/ab/<fp>.bin         per-table derived artifacts (distinct sets,
+                                MinHash signatures, metadata), addressed by
+                                the fingerprint of the source table and
+                                sharded by a 2-hex-digit hash prefix
+    objects/ab/manifest.json    per-shard object index ({fp: codec version})
+    profiles/cd/<fp>.npz        cached profile vectors, grouped by the
+                                fingerprint of the base (query) table
+    profiles/cd/manifest.json   per-shard LRU bookkeeping ({fp: bytes, touched})
+    snapshot.npz                packed signature matrix for warm starts
+
+Sharding keeps every directory and every manifest bounded: a store with
+10⁵ tables spreads them over 256 object shards, so directory scans,
+manifest rewrites, and atomic-rename pressure stay flat as the catalog
+grows.  Version-1 stores (flat ``objects/<fp>.json``) are read through
+transparently and can be rewritten in place with :meth:`CatalogStore.migrate`.
 
 Objects are immutable once written — a changed table gets a new
 fingerprint and therefore a new object — so incremental updates never
 rewrite artifacts of unchanged tables.  ``gc`` reclaims objects no live
 table references.
+
+Column entries are serialized by a versioned :class:`Codec`.  The current
+default is the packed :class:`BinaryCodec` (struct-packed value sets +
+raw little-endian signatures, several times smaller than JSON); the
+legacy :class:`JsonCodec` stays registered so version-1 artifacts remain
+readable forever.
+
+Cached profile groups are the one store section that can grow without
+bound (every new base table adds a group), so they carry an LRU eviction
+policy: each group's byte size and last-touch time live in its shard
+manifest, and ``profile_budget_bytes`` (enforced after every write, or on
+demand via :meth:`evict_profiles` / ``repro catalog gc``) drops the
+least-recently-used groups until the total fits the budget.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
 import tempfile
+import time
+import zlib
 
 import numpy as np
 
+from repro.catalog.fingerprint import shard_of
 from repro.discovery.index import ColumnEntry
 
-VERSION = 1
+VERSION = 2
+#: Layout versions this code can read (writes always use :data:`VERSION`).
+READABLE_VERSIONS = frozenset({1, VERSION})
+
+# Overridable clock for deterministic LRU tests.
+_now = time.time
 
 
 class CatalogStoreError(RuntimeError):
     """Raised on store corruption or configuration mismatch."""
 
 
-class CatalogStore:
-    """Filesystem persistence for catalog artifacts."""
+# ----------------------------------------------------------------------
+# Column-entry codecs
+# ----------------------------------------------------------------------
+class Codec:
+    """Versioned (de)serializer for one table object.
 
-    def __init__(self, root: str):
+    A codec turns ``(meta, {column: ColumnEntry})`` into bytes and back.
+    ``version`` is stable forever: a store may hold objects written by
+    any registered codec, and the reader picks the codec from the file
+    (extension + self-describing header), so new codec versions never
+    orphan old artifacts.  Decoders raise :class:`CatalogStoreError` on
+    any malformed input — truncated, garbled, or wrong-typed — and never
+    return partially-decoded entries.
+    """
+
+    version: int
+    extension: str
+
+    def encode(self, meta: dict, entries: dict) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, blob: bytes):
+        """``(meta, {column: ColumnEntry})`` from :meth:`encode` output."""
+        raise NotImplementedError
+
+    def decode_meta(self, blob: bytes) -> dict:
+        """Just the ``meta`` dict (cheap for codecs with a meta header)."""
+        return self.decode(blob)[0]
+
+
+def _derived_normalized(distinct) -> frozenset:
+    return frozenset(v.strip().lower() for v in distinct)
+
+
+class JsonCodec(Codec):
+    """The version-1 JSON object format (legacy; still fully readable).
+
+    Byte-compatible with the flat-layout writer of layout version 1, so
+    migration tests (and any external tooling) can reproduce v1 stores
+    exactly.
+    """
+
+    version = 1
+    extension = ".json"
+
+    def encode(self, meta: dict, entries: dict) -> bytes:
+        payload = {
+            "meta": dict(meta),
+            "columns": {
+                column: {
+                    "distinct": sorted(entry.distinct),
+                    "normalized": sorted(entry.normalized),
+                    "signature": [int(x) for x in entry.signature.tolist()],
+                }
+                for column, entry in entries.items()
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+
+    def decode(self, blob: bytes):
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CatalogStoreError(f"corrupt JSON object: {error}") from error
+        try:
+            entries = {}
+            for column, data in payload["columns"].items():
+                distinct = frozenset(data["distinct"])
+                if "normalized" in data:
+                    normalized = frozenset(data["normalized"])
+                else:
+                    normalized = _derived_normalized(distinct)
+                entries[column] = ColumnEntry(
+                    distinct=distinct,
+                    normalized=normalized,
+                    signature=np.array(data["signature"], dtype=np.uint64),
+                )
+            return payload["meta"], entries
+        except (KeyError, TypeError, AttributeError, ValueError, OverflowError) as error:
+            # ValueError/OverflowError: JSON-valid but wrong-typed
+            # signature data (np.array with dtype=uint64 rejects it).
+            raise CatalogStoreError(f"corrupt JSON object: {error!r}") from error
+
+
+class _Cursor:
+    """Bounds-checked reader over a binary object blob."""
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.blob):
+            raise CatalogStoreError(
+                f"truncated binary object: wanted {n} bytes at offset "
+                f"{self.pos}, have {len(self.blob)}"
+            )
+        out = self.blob[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def text(self, n: int) -> str:
+        try:
+            return self.take(n).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise CatalogStoreError(
+                f"garbled binary object: invalid UTF-8 at offset {self.pos}"
+            ) from error
+
+
+class BinaryCodec(Codec):
+    """Packed + deflated binary object format (layout version 2's default).
+
+    Little-endian throughout::
+
+        magic b"RCAT" | u16 codec version
+        u32 meta length | meta JSON (utf-8, uncompressed → cheap meta reads)
+        u8 body compression (0 = raw, 1 = zlib) | u32 stored body length
+        body (zlib-deflated column section):
+            u32 column count
+            per column (sorted by name):
+                u16 name length | name utf-8
+                u32 num_perm | num_perm * u64 signature
+                u8 flags (bit 0: explicit normalized block follows distinct)
+                string-set block (distinct)
+                [string-set block (normalized), only if flag bit 0]
+
+        string-set block: u32 count | u32 blob length
+                          | count * u32 value lengths | utf-8 value blob
+
+    The dominant JSON costs disappear: signatures are raw 8-byte words
+    instead of ~25 characters of decimal + indentation each, values are
+    stored once (the normalized set is re-derived on decode whenever it
+    equals ``strip().lower()`` of the distinct set, which is how every
+    entry the index computes looks), and the packed column section is
+    deflated — sorted value blobs share long prefixes, so zlib roughly
+    halves it again.  Encoding is canonical — values sorted, meta JSON
+    with sorted keys, fixed compression level — so equal objects encode
+    byte-identically.
+    """
+
+    version = 2
+    extension = ".bin"
+
+    MAGIC = b"RCAT"
+    _EXPLICIT_NORMALIZED = 1
+    _BODY_RAW = 0
+    _BODY_ZLIB = 1
+    _ZLIB_LEVEL = 6
+
+    def encode(self, meta: dict, entries: dict) -> bytes:
+        body = bytearray()
+        body += struct.pack("<I", len(entries))
+        for column in sorted(entries):
+            entry = entries[column]
+            name = column.encode("utf-8")
+            if len(name) > 0xFFFF:
+                raise CatalogStoreError(
+                    f"column name {column[:40]!r}… is {len(name)} UTF-8 "
+                    "bytes, beyond the binary codec's 64KiB name field"
+                )
+            body += struct.pack("<H", len(name))
+            body += name
+            signature = np.ascontiguousarray(entry.signature, dtype="<u8")
+            body += struct.pack("<I", signature.size)
+            body += signature.tobytes()
+            derived = entry.normalized == _derived_normalized(entry.distinct)
+            body += struct.pack("<B", 0 if derived else self._EXPLICIT_NORMALIZED)
+            body += self._pack_strings(entry.distinct)
+            if not derived:
+                body += self._pack_strings(entry.normalized)
+        deflated = zlib.compress(bytes(body), self._ZLIB_LEVEL)
+        if len(deflated) < len(body):
+            compression, stored = self._BODY_ZLIB, deflated
+        else:
+            compression, stored = self._BODY_RAW, bytes(body)
+        out = bytearray()
+        out += self.MAGIC
+        out += struct.pack("<H", self.version)
+        meta_blob = json.dumps(dict(meta), sort_keys=True).encode("utf-8")
+        out += struct.pack("<I", len(meta_blob))
+        out += meta_blob
+        out += struct.pack("<BI", compression, len(stored))
+        out += stored
+        return bytes(out)
+
+    @staticmethod
+    def _pack_strings(values) -> bytes:
+        encoded = [value.encode("utf-8") for value in sorted(values)]
+        lengths = np.array([len(e) for e in encoded], dtype="<u4")
+        blob = b"".join(encoded)
+        return (
+            struct.pack("<II", len(encoded), len(blob))
+            + lengths.tobytes()
+            + blob
+        )
+
+    @staticmethod
+    def _unpack_strings(cursor: _Cursor) -> frozenset:
+        count, blob_len = cursor.unpack("<II")
+        lengths = np.frombuffer(cursor.take(4 * count), dtype="<u4")
+        if int(lengths.sum()) != blob_len:
+            raise CatalogStoreError(
+                "garbled binary object: string lengths disagree with blob size"
+            )
+        blob = cursor.take(blob_len)
+        values = []
+        offset = 0
+        for length in lengths.tolist():
+            piece = blob[offset : offset + length]
+            offset += length
+            try:
+                values.append(piece.decode("utf-8"))
+            except UnicodeDecodeError as error:
+                raise CatalogStoreError(
+                    "garbled binary object: invalid UTF-8 value"
+                ) from error
+        return frozenset(values)
+
+    def _header(self, blob: bytes) -> _Cursor:
+        cursor = _Cursor(blob)
+        if cursor.take(len(self.MAGIC)) != self.MAGIC:
+            raise CatalogStoreError("not a binary catalog object (bad magic)")
+        (version,) = cursor.unpack("<H")
+        if version != self.version:
+            raise CatalogStoreError(
+                f"binary object codec version {version}, expected {self.version}"
+            )
+        return cursor
+
+    def _meta(self, cursor: _Cursor) -> dict:
+        (meta_len,) = cursor.unpack("<I")
+        try:
+            meta = json.loads(cursor.text(meta_len))
+        except json.JSONDecodeError as error:
+            raise CatalogStoreError(
+                f"garbled binary object: bad meta block: {error}"
+            ) from error
+        if not isinstance(meta, dict):
+            raise CatalogStoreError("garbled binary object: meta is not a dict")
+        return meta
+
+    def decode_meta(self, blob: bytes) -> dict:
+        return self._meta(self._header(blob))
+
+    def decode(self, blob: bytes):
+        outer = self._header(blob)
+        meta = self._meta(outer)
+        compression, stored_len = outer.unpack("<BI")
+        stored = outer.take(stored_len)
+        if outer.pos != len(blob):
+            raise CatalogStoreError(
+                f"garbled binary object: {len(blob) - outer.pos} trailing bytes"
+            )
+        if compression == self._BODY_ZLIB:
+            try:
+                body = zlib.decompress(stored)
+            except zlib.error as error:
+                raise CatalogStoreError(
+                    f"garbled binary object: bad deflate body: {error}"
+                ) from error
+        elif compression == self._BODY_RAW:
+            body = stored
+        else:
+            raise CatalogStoreError(
+                f"garbled binary object: unknown body compression {compression}"
+            )
+        cursor = _Cursor(body)
+        (n_columns,) = cursor.unpack("<I")
+        entries = {}
+        for _ in range(n_columns):
+            (name_len,) = cursor.unpack("<H")
+            column = cursor.text(name_len)
+            (num_perm,) = cursor.unpack("<I")
+            signature = np.frombuffer(
+                cursor.take(8 * num_perm), dtype="<u8"
+            ).astype(np.uint64)
+            (flags,) = cursor.unpack("<B")
+            distinct = self._unpack_strings(cursor)
+            if flags & self._EXPLICIT_NORMALIZED:
+                normalized = self._unpack_strings(cursor)
+            else:
+                normalized = _derived_normalized(distinct)
+            entries[column] = ColumnEntry(
+                distinct=distinct, normalized=normalized, signature=signature
+            )
+        if cursor.pos != len(body):
+            raise CatalogStoreError(
+                f"garbled binary object: {len(body) - cursor.pos} trailing "
+                "bytes in column section"
+            )
+        return meta, entries
+
+
+#: Registered codecs by version; readers accept any, writers use the default.
+CODECS = {codec.version: codec for codec in (JsonCodec(), BinaryCodec())}
+DEFAULT_CODEC = CODECS[2]
+
+
+class CatalogStore:
+    """Filesystem persistence for catalog artifacts.
+
+    ``profile_budget_bytes`` caps the cached-profile section: when set,
+    every :meth:`write_profiles` evicts least-recently-touched profile
+    groups until the section fits the budget (the group just written is
+    never evicted).  ``None`` disables enforcement (evict on demand with
+    :meth:`evict_profiles`).
+    """
+
+    def __init__(self, root: str, profile_budget_bytes: int = None):
         self.root = str(root)
+        self.profile_budget_bytes = profile_budget_bytes
 
     # ------------------------------------------------------------------
     # Paths
@@ -45,11 +388,36 @@ class CatalogStore:
     def manifest_path(self) -> str:
         return os.path.join(self.root, "manifest.json")
 
-    def _object_path(self, fingerprint: str) -> str:
-        return os.path.join(self.root, "objects", f"{fingerprint}.json")
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _object_shard_dir(self, fingerprint: str) -> str:
+        return os.path.join(self._objects_dir(), shard_of(fingerprint))
+
+    def _object_path(self, fingerprint: str, codec: Codec = DEFAULT_CODEC) -> str:
+        """Sharded path of one object under ``codec`` (the default codec's
+        path is where new writes land)."""
+        return os.path.join(
+            self._object_shard_dir(fingerprint), f"{fingerprint}{codec.extension}"
+        )
+
+    def _legacy_object_path(self, fingerprint: str) -> str:
+        """Layout-v1 flat path (read-through only; never written)."""
+        return os.path.join(self._objects_dir(), f"{fingerprint}.json")
+
+    def _profiles_dir(self) -> str:
+        return os.path.join(self.root, "profiles")
+
+    def _profile_shard_dir(self, base_fingerprint: str) -> str:
+        return os.path.join(self._profiles_dir(), shard_of(base_fingerprint))
 
     def _profile_path(self, base_fingerprint: str) -> str:
-        return os.path.join(self.root, "profiles", f"{base_fingerprint}.json")
+        return os.path.join(
+            self._profile_shard_dir(base_fingerprint), f"{base_fingerprint}.npz"
+        )
+
+    def _legacy_profile_path(self, base_fingerprint: str) -> str:
+        return os.path.join(self._profiles_dir(), f"{base_fingerprint}.json")
 
     def exists(self) -> bool:
         return os.path.exists(self.manifest_path)
@@ -58,7 +426,10 @@ class CatalogStore:
     # Manifest
     # ------------------------------------------------------------------
     def read_manifest(self):
-        """Manifest dict, or ``None`` if the store was never saved."""
+        """Manifest dict, or ``None`` if the store was never saved.
+
+        Accepts every readable layout version (a v1 manifest opens
+        transparently; the next :meth:`write_manifest` upgrades it)."""
         if not self.exists():
             return None
         with open(self.manifest_path, encoding="utf-8") as handle:
@@ -69,10 +440,10 @@ class CatalogStore:
                     f"corrupt catalog manifest at {self.manifest_path!r}: {error}"
                 ) from error
         version = manifest.get("version") if isinstance(manifest, dict) else None
-        if version != VERSION:
+        if version not in READABLE_VERSIONS:
             raise CatalogStoreError(
                 f"catalog at {self.root!r} has version "
-                f"{version!r}, expected {VERSION}"
+                f"{version!r}, expected one of {sorted(READABLE_VERSIONS)}"
             )
         return manifest
 
@@ -87,10 +458,81 @@ class CatalogStore:
         _atomic_write_json(self.manifest_path, payload)
 
     # ------------------------------------------------------------------
+    # Per-shard manifests (advisory indexes; the directory is the truth)
+    # ------------------------------------------------------------------
+    def _read_shard_manifest(self, shard_dir: str) -> dict:
+        """Shard manifest payload, or ``{}`` when absent or corrupt — a
+        damaged shard manifest degrades to directory probing and is
+        rebuilt by the next write, never trusted over the files."""
+        try:
+            with open(
+                os.path.join(shard_dir, "manifest.json"), encoding="utf-8"
+            ) as handle:
+                payload = json.load(handle)
+            return payload if isinstance(payload, dict) else {}
+        except (FileNotFoundError, NotADirectoryError, json.JSONDecodeError):
+            return {}
+
+    def _read_shard_section(self, shard_dir: str, section: str) -> dict:
+        """One section of a shard manifest, guaranteed to be a dict — a
+        JSON-valid but wrong-typed section is corruption and degrades to
+        empty exactly like a missing manifest."""
+        value = self._read_shard_manifest(shard_dir).get(section)
+        return value if isinstance(value, dict) else {}
+
+    def _update_shard_manifest(self, shard_dir: str, section: str, mutate) -> None:
+        """Read-mutate-write one shard manifest section atomically
+        (best-effort: bookkeeping failure must never fail the data write;
+        a wrong-typed section is replaced rather than trusted)."""
+        try:
+            payload = self._read_shard_manifest(shard_dir)
+            entries = payload.get(section)
+            if not isinstance(entries, dict):
+                entries = {}
+                payload[section] = entries
+            mutate(entries)
+            _atomic_write_json(os.path.join(shard_dir, "manifest.json"), payload)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     # Table objects
     # ------------------------------------------------------------------
+    def _object_candidates(self, fingerprint: str):
+        """``(codec, path)`` pairs to try for one object, lazily.
+
+        The default codec's sharded path comes first — ``write_object``
+        leaves exactly one representation there, so the common case
+        (warm start probing thousands of objects) resolves on a single
+        ``exists``/``open`` without touching any shard manifest.  Only
+        when that misses (legacy or mid-migration store) is the shard
+        manifest consulted for a recorded codec, then every other
+        registered codec's sharded path, then the layout-v1 flat path —
+        so a stale shard manifest degrades to probing instead of
+        failing."""
+        yield DEFAULT_CODEC, self._object_path(fingerprint)
+        recorded = self._read_shard_section(
+            self._object_shard_dir(fingerprint), "objects"
+        )
+        order = []
+        version = recorded.get(fingerprint)
+        if version in CODECS:
+            order.append(CODECS[version])
+        order.extend(
+            codec for codec in CODECS.values() if codec is not DEFAULT_CODEC
+        )
+        seen = {self._object_path(fingerprint)}
+        for codec in order:
+            path = self._object_path(fingerprint, codec)
+            if path not in seen:
+                seen.add(path)
+                yield codec, path
+        yield CODECS[1], self._legacy_object_path(fingerprint)
+
     def has_object(self, fingerprint: str) -> bool:
-        return os.path.exists(self._object_path(fingerprint))
+        return any(
+            os.path.exists(path) for _codec, path in self._object_candidates(fingerprint)
+        )
 
     def write_object(
         self, fingerprint: str, meta: dict, entries: dict, overwrite: bool = False
@@ -99,72 +541,95 @@ class CatalogStore:
         objects are content-addressed, so equal fingerprint ⇒ equal
         content).  ``overwrite`` forces the write — used when healing a
         corrupt file with freshly recomputed content."""
-        path = self._object_path(fingerprint)
-        if os.path.exists(path) and not overwrite:
+        if not overwrite and self.has_object(fingerprint):
             return
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {
-            "meta": dict(meta),
-            "columns": {
-                column: {
-                    "distinct": sorted(entry.distinct),
-                    "normalized": sorted(entry.normalized),
-                    "signature": [int(x) for x in entry.signature.tolist()],
-                }
-                for column, entry in entries.items()
-            },
-        }
-        _atomic_write_json(path, payload)
+        path = self._object_path(fingerprint)
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
+        _atomic_write_bytes(path, DEFAULT_CODEC.encode(meta, entries))
+        self._update_shard_manifest(
+            shard_dir,
+            "objects",
+            lambda objects: objects.__setitem__(fingerprint, DEFAULT_CODEC.version),
+        )
+        # Drop superseded representations (other codecs, the v1 flat
+        # file) so a heal can never resurrect stale content later.
+        for codec in CODECS.values():
+            if codec is not DEFAULT_CODEC:
+                _remove_if_exists(self._object_path(fingerprint, codec))
+        _remove_if_exists(self._legacy_object_path(fingerprint))
 
     def read_object(self, fingerprint: str):
-        """Load ``(meta, {column: ColumnEntry})`` for one fingerprint."""
-        path = self._object_path(fingerprint)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
-            raise KeyError(f"no catalog object {fingerprint!r}") from None
-        except json.JSONDecodeError as error:
-            raise CatalogStoreError(
-                f"corrupt catalog object at {path!r}: {error}"
-            ) from error
-        try:
-            entries = {}
-            for column, data in payload["columns"].items():
-                distinct = frozenset(data["distinct"])
-                if "normalized" in data:
-                    normalized = frozenset(data["normalized"])
-                else:
-                    normalized = frozenset(v.strip().lower() for v in distinct)
-                entries[column] = ColumnEntry(
-                    distinct=distinct,
-                    normalized=normalized,
-                    signature=np.array(data["signature"], dtype=np.uint64),
-                )
-            return payload["meta"], entries
-        except (KeyError, TypeError, AttributeError, ValueError, OverflowError) as error:
-            # ValueError/OverflowError: JSON-valid but wrong-typed
-            # signature data (np.array with dtype=uint64 rejects it).
-            raise CatalogStoreError(
-                f"corrupt catalog object at {path!r}: {error!r}"
-            ) from error
+        """Load ``(meta, {column: ColumnEntry})`` for one fingerprint.
+
+        Tries the sharded layout first (any registered codec), then the
+        layout-v1 flat path.  Raises ``KeyError`` when no representation
+        exists and :class:`CatalogStoreError` when the first existing one
+        is corrupt."""
+        for codec, path in self._object_candidates(fingerprint):
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except FileNotFoundError:
+                continue
+            try:
+                return codec.decode(blob)
+            except CatalogStoreError as error:
+                raise CatalogStoreError(
+                    f"corrupt catalog object at {path!r}: {error}"
+                ) from error
+        raise KeyError(f"no catalog object {fingerprint!r}")
+
+    def read_object_meta(self, fingerprint: str) -> dict:
+        """Just the ``meta`` dict of one object — the binary codec reads
+        only the fixed-size header, so Table-I style reports over large
+        catalogs never materialize the value sets."""
+        for codec, path in self._object_candidates(fingerprint):
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except FileNotFoundError:
+                continue
+            try:
+                return codec.decode_meta(blob)
+            except CatalogStoreError as error:
+                raise CatalogStoreError(
+                    f"corrupt catalog object at {path!r}: {error}"
+                ) from error
+        raise KeyError(f"no catalog object {fingerprint!r}")
 
     def delete_object(self, fingerprint: str) -> None:
-        try:
-            os.remove(self._object_path(fingerprint))
-        except FileNotFoundError:
-            pass
+        for codec in CODECS.values():
+            _remove_if_exists(self._object_path(fingerprint, codec))
+        _remove_if_exists(self._legacy_object_path(fingerprint))
+        shard_dir = self._object_shard_dir(fingerprint)
+        if self._read_shard_section(shard_dir, "objects").get(fingerprint):
+            self._update_shard_manifest(
+                shard_dir, "objects", lambda objects: objects.pop(fingerprint, None)
+            )
+
+    def _extensions(self):
+        return {codec.extension for codec in CODECS.values()}
 
     def list_objects(self) -> list:
-        """Fingerprints of all stored table objects."""
-        objects_dir = os.path.join(self.root, "objects")
+        """Fingerprints of all stored table objects, across layouts."""
+        objects_dir = self._objects_dir()
         if not os.path.isdir(objects_dir):
             return []
-        return sorted(
-            name[: -len(".json")]
-            for name in os.listdir(objects_dir)
-            if name.endswith(".json")
-        )
+        extensions = self._extensions()
+        found = set()
+        for name in os.listdir(objects_dir):
+            path = os.path.join(objects_dir, name)
+            if os.path.isdir(path):
+                for entry in os.listdir(path):
+                    if entry == "manifest.json":
+                        continue
+                    stem, ext = os.path.splitext(entry)
+                    if ext in extensions:
+                        found.add(stem)
+            elif name.endswith(".json"):
+                found.add(name[: -len(".json")])
+        return sorted(found)
 
     def gc(self, live_fingerprints) -> int:
         """Delete objects not in ``live_fingerprints``; returns the count."""
@@ -210,6 +675,9 @@ class CatalogStore:
             signatures = np.stack([signature for _t, _f, _c, signature in rows])
         else:
             signatures = np.empty((0, 0), dtype=np.uint64)
+        # Streamed straight into the temp file (not via an in-memory
+        # buffer): the snapshot is the largest single artifact, and
+        # buffering it would double peak memory on every save.
         fd, tmp = tempfile.mkstemp(
             prefix="snapshot.", suffix=".tmp", dir=self.root
         )
@@ -259,10 +727,35 @@ class CatalogStore:
     # Profile vectors
     # ------------------------------------------------------------------
     def read_profiles(self, base_fingerprint: str) -> dict:
-        """Cached ``{profile key: vector}`` for one base table."""
+        """Cached ``{profile key: vector}`` for one base table.
+
+        Reading touches the group's LRU clock, so actively-used bases
+        survive budget enforcement."""
         path = self._profile_path(base_fingerprint)
+        entries = None
         try:
-            with open(path, encoding="utf-8") as handle:
+            with np.load(path) as payload:
+                entries = {
+                    key: payload[key].astype(float, copy=False)
+                    for key in payload.files
+                }
+        except FileNotFoundError:
+            pass
+        except Exception:
+            # Cached profiles are a pure optimization: a corrupt file
+            # degrades to recomputation (and is overwritten by the next
+            # flush), never fails a discovery run.
+            return {}
+        if entries is not None:
+            # LRU bookkeeping happens outside the load guard: a failed
+            # touch must never discard a successfully loaded cache.
+            self._touch_profile_group(base_fingerprint)
+            return entries
+        # Layout-v1 flat JSON group (read-through; migrated on next write).
+        try:
+            with open(
+                self._legacy_profile_path(base_fingerprint), encoding="utf-8"
+            ) as handle:
                 payload = json.load(handle)
             return {
                 key: np.array(vector, dtype=float)
@@ -271,32 +764,155 @@ class CatalogStore:
         except FileNotFoundError:
             return {}
         except (json.JSONDecodeError, KeyError, TypeError, AttributeError, ValueError):
-            # Like the snapshot, cached profiles are a pure optimization:
-            # a corrupt file (including JSON-valid but non-numeric vector
-            # entries) degrades to recomputation (and is overwritten by
-            # the next flush), never fails a discovery run.
             return {}
 
     def write_profiles(self, base_fingerprint: str, entries: dict) -> None:
         path = self._profile_path(base_fingerprint)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {
-            "entries": {
-                key: [float(x) for x in np.asarray(vector).tolist()]
-                for key, vector in sorted(entries.items())
-            }
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
+        buffer = io.BytesIO()
+        arrays = {
+            key: np.asarray(vector, dtype=float)
+            for key, vector in sorted(entries.items())
         }
-        _atomic_write_json(path, payload)
+        np.savez(buffer, **arrays)
+        blob = buffer.getvalue()
+        _atomic_write_bytes(path, blob)
+        self._update_shard_manifest(
+            shard_dir,
+            "groups",
+            lambda groups: groups.__setitem__(
+                base_fingerprint, {"bytes": len(blob), "touched": _now()}
+            ),
+        )
+        _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+        if self.profile_budget_bytes is not None:
+            self.evict_profiles(
+                self.profile_budget_bytes, keep=frozenset({base_fingerprint})
+            )
+
+    def _touch_profile_group(self, base_fingerprint: str) -> None:
+        """Refresh one group's LRU clock — pure bookkeeping, so any
+        failure is swallowed (eviction falls back to file mtimes)."""
+        shard_dir = self._profile_shard_dir(base_fingerprint)
+
+        def touch(groups):
+            info = groups.get(base_fingerprint)
+            if not isinstance(info, dict):
+                info = {"bytes": _file_size(self._profile_path(base_fingerprint))}
+            info["touched"] = _now()
+            groups[base_fingerprint] = info
+
+        try:
+            self._update_shard_manifest(shard_dir, "groups", touch)
+        except Exception:
+            pass
+
+    def delete_profiles(self, base_fingerprint: str) -> None:
+        """Drop one base table's cached profile group (both layouts)."""
+        _remove_if_exists(self._profile_path(base_fingerprint))
+        _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+        shard_dir = self._profile_shard_dir(base_fingerprint)
+        if self._read_shard_section(shard_dir, "groups").get(base_fingerprint):
+            self._update_shard_manifest(
+                shard_dir, "groups", lambda groups: groups.pop(base_fingerprint, None)
+            )
 
     def list_profile_groups(self) -> list:
-        profiles_dir = os.path.join(self.root, "profiles")
+        profiles_dir = self._profiles_dir()
         if not os.path.isdir(profiles_dir):
             return []
-        return sorted(
-            name[: -len(".json")]
-            for name in os.listdir(profiles_dir)
-            if name.endswith(".json")
-        )
+        found = set()
+        for name in os.listdir(profiles_dir):
+            path = os.path.join(profiles_dir, name)
+            if os.path.isdir(path):
+                for entry in os.listdir(path):
+                    if entry.endswith(".npz"):
+                        found.add(entry[: -len(".npz")])
+            elif name.endswith(".json"):
+                found.add(name[: -len(".json")])
+        return sorted(found)
+
+    def _profile_inventory(self) -> list:
+        """``(touched, base_fingerprint, bytes)`` for every profile group.
+
+        Walks the profile section shard by shard — one manifest parse
+        per shard directory, not per group, so a budgeted flush stays
+        cheap as groups accumulate — and heals stale bookkeeping from
+        the filesystem (groups missing from their shard manifest get the
+        file's mtime/size, so eviction still orders sensibly after a
+        manifest loss)."""
+        profiles_dir = self._profiles_dir()
+        if not os.path.isdir(profiles_dir):
+            return []
+        inventory = []
+        seen = set()
+        legacy = []
+        for name in sorted(os.listdir(profiles_dir)):
+            shard_dir = os.path.join(profiles_dir, name)
+            if not os.path.isdir(shard_dir):
+                if name.endswith(".json"):
+                    legacy.append(name[: -len(".json")])
+                continue
+            groups = self._read_shard_section(shard_dir, "groups")
+            for entry in sorted(os.listdir(shard_dir)):
+                if not entry.endswith(".npz"):
+                    continue
+                base_fingerprint = entry[: -len(".npz")]
+                path = os.path.join(shard_dir, entry)
+                info = groups.get(base_fingerprint)
+                size = None
+                if isinstance(info, dict) and isinstance(
+                    info.get("touched"), (int, float)
+                ):
+                    touched = float(info["touched"])
+                    if isinstance(info.get("bytes"), int):
+                        size = info["bytes"]
+                else:
+                    try:
+                        touched = os.path.getmtime(path)
+                    except OSError:
+                        touched = 0.0
+                if size is None:
+                    size = _file_size(path)
+                seen.add(base_fingerprint)
+                inventory.append((touched, base_fingerprint, size))
+        for base_fingerprint in legacy:
+            # Layout-v1 flat group (skipped when a sharded copy
+            # supersedes it): no bookkeeping, so order by file mtime.
+            if base_fingerprint in seen:
+                continue
+            path = self._legacy_profile_path(base_fingerprint)
+            try:
+                touched = os.path.getmtime(path)
+            except OSError:
+                touched = 0.0
+            inventory.append((touched, base_fingerprint, _file_size(path)))
+        return inventory
+
+    def profile_bytes(self) -> int:
+        """Total on-disk size of the cached-profile section."""
+        return sum(size for _t, _fp, size in self._profile_inventory())
+
+    def evict_profiles(self, budget_bytes: int, keep=frozenset()):
+        """Evict least-recently-touched profile groups until the section
+        fits ``budget_bytes``.  ``keep`` groups are never evicted (the
+        writer protects the group it just flushed).  Returns
+        ``(evicted_groups, freed_bytes)``."""
+        inventory = self._profile_inventory()
+        total = sum(size for _t, _fp, size in inventory)
+        evicted = 0
+        freed = 0
+        for touched, base_fingerprint, size in sorted(inventory):
+            if total <= budget_bytes:
+                break
+            if base_fingerprint in keep:
+                continue
+            self.delete_profiles(base_fingerprint)
+            total -= size
+            freed += size
+            evicted += 1
+        return evicted, freed
 
     # ------------------------------------------------------------------
     # Auxiliary metadata
@@ -317,15 +933,68 @@ class CatalogStore:
         _atomic_write_json(os.path.join(self.root, name), payload)
 
     # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def migrate(self) -> dict:
+        """Rewrite every legacy artifact into the current layout, in place.
+
+        Layout-v1 flat objects (and any object stored under a non-default
+        codec) are re-encoded with the default codec into their shard
+        directory; flat profile groups move to sharded ``.npz``; the root
+        manifest is rewritten at the current version.  Every step writes
+        the new representation atomically before removing the old one, so
+        a crash mid-migration leaves a store where every object is still
+        readable (the read path checks both layouts) and a re-run
+        finishes the job.  Idempotent: a fully-migrated store reports
+        zero rewrites.  Returns ``{"objects": n, "profiles": n}``.
+        """
+        migrated_objects = 0
+        for fingerprint in self.list_objects():
+            if os.path.exists(self._object_path(fingerprint)):
+                # Already migrated — but a crash between an earlier
+                # rewrite and its cleanup can leave a superseded legacy
+                # copy behind; finish that removal here.
+                for codec in CODECS.values():
+                    if codec is not DEFAULT_CODEC:
+                        _remove_if_exists(self._object_path(fingerprint, codec))
+                _remove_if_exists(self._legacy_object_path(fingerprint))
+                continue
+            meta, entries = self.read_object(fingerprint)
+            self.write_object(fingerprint, meta, entries, overwrite=True)
+            migrated_objects += 1
+        migrated_profiles = 0
+        for base_fingerprint in self.list_profile_groups():
+            if os.path.exists(self._profile_path(base_fingerprint)):
+                _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+                continue
+            entries = self.read_profiles(base_fingerprint)
+            self.write_profiles(base_fingerprint, entries)
+            migrated_profiles += 1
+        manifest = self.read_manifest()
+        if manifest is not None and manifest.get("version") != VERSION:
+            self.write_manifest(manifest["config"], manifest["tables"])
+        return {"objects": migrated_objects, "profiles": migrated_profiles}
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counts and on-disk footprint of the store."""
         manifest = self.read_manifest() or {"config": {}, "tables": {}}
         n_profiles = 0
         for group in self.list_profile_groups():
-            # Count keys straight off the JSON payload — stats must not
-            # materialize every cached vector as a numpy array.
+            # Count keys straight off the archive/JSON member list — stats
+            # must not materialize every cached vector as a numpy array.
             try:
-                with open(self._profile_path(group), encoding="utf-8") as handle:
+                with np.load(self._profile_path(group)) as payload:
+                    n_profiles += len(payload.files)
+                continue
+            except FileNotFoundError:
+                pass
+            except Exception:
+                continue
+            try:
+                with open(
+                    self._legacy_profile_path(group), encoding="utf-8"
+                ) as handle:
                     n_profiles += len(json.load(handle).get("entries", {}))
             except (FileNotFoundError, json.JSONDecodeError, AttributeError):
                 pass
@@ -334,17 +1003,33 @@ class CatalogStore:
             for name in filenames:
                 size += os.path.getsize(os.path.join(dirpath, name))
         return {
+            "version": manifest.get("version", VERSION),
             "tables": len(manifest["tables"]),
             "objects": len(self.list_objects()),
             "profile_groups": len(self.list_profile_groups()),
             "profile_entries": n_profiles,
+            "profile_bytes": self.profile_bytes(),
             "disk_bytes": size,
             "config": manifest["config"],
         }
 
 
-def _atomic_write_json(path: str, payload) -> None:
-    """Write JSON via a unique temp file + rename so readers never see
+def _file_size(path: str) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def _remove_if_exists(path: str) -> None:
+    try:
+        os.remove(path)
+    except FileNotFoundError:
+        pass
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write bytes via a unique temp file + rename so readers never see
     partial content and concurrent writers cannot interleave into one
     temp file — last completed writer wins (best-effort on non-POSIX
     filesystems)."""
@@ -353,8 +1038,8 @@ def _atomic_write_json(path: str, payload) -> None:
         dir=os.path.dirname(path) or ".",
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -362,3 +1047,9 @@ def _atomic_write_json(path: str, payload) -> None:
         except FileNotFoundError:
             pass
         raise
+
+
+def _atomic_write_json(path: str, payload) -> None:
+    _atomic_write_bytes(
+        path, json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+    )

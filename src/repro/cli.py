@@ -8,12 +8,18 @@ Commands
     Run METAM (and optionally baselines) on a scenario and print the
     utility-vs-queries chart; ``--save`` archives results as JSON.
 ``corpus-stats``
-    Generate a synthetic corpus and print its Table-I characteristics.
-``catalog build|update|stats``
+    Generate a synthetic corpus and print its Table-I characteristics —
+    or, with ``--catalog DIR``, serve the report straight from a saved
+    catalog's disk artifacts (no corpus generation, no column
+    re-signing).
+``catalog build|update|stats|gc``
     Maintain a persistent discovery catalog on disk: ``build`` indexes a
-    corpus into a catalog directory, ``update`` incrementally refreshes it
-    (only new/changed tables are re-signed), ``stats`` reports its
-    contents and footprint.
+    corpus into a catalog directory (``--migrate`` rewrites a legacy
+    flat/JSON store into the sharded binary layout first), ``update``
+    incrementally refreshes it (only new/changed tables are re-signed),
+    ``stats`` reports its contents and footprint, ``gc`` reclaims
+    unreferenced objects and (with ``--profile-budget``) evicts
+    least-recently-used cached profile groups.
 """
 
 from __future__ import annotations
@@ -75,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--tables", type=int, default=100)
     stats.add_argument("--style", choices=["open_data", "kaggle"], default="open_data")
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="serve the report from a saved catalog's disk artifacts "
+        "(no corpus generation or column re-signing — a transient LSH "
+        "is rebuilt from stored signatures; the corpus flags are "
+        "ignored)",
+    )
 
     catalog = sub.add_parser("catalog", help="persistent discovery catalog")
     catsub = catalog.add_subparsers(dest="catalog_command", required=True)
@@ -89,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--num-perm", type=int, default=64)
     build.add_argument("--bands", type=int, default=16)
     build.add_argument("--min-containment", type=float, default=0.3)
+    build.add_argument(
+        "--migrate",
+        action="store_true",
+        help="rewrite a legacy (flat-layout / JSON-codec) catalog into "
+        "the current sharded binary layout in place before refreshing",
+    )
 
     update = catsub.add_parser(
         "update", help="incrementally refresh a catalog against a corpus"
@@ -108,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     cat_stats = catsub.add_parser("stats", help="catalog contents and footprint")
     cat_stats.add_argument("dir", help="catalog directory")
+
+    gc = catsub.add_parser(
+        "gc", help="reclaim unreferenced objects and enforce profile budget"
+    )
+    gc.add_argument("dir", help="catalog directory")
+    gc.add_argument(
+        "--profile-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict least-recently-used cached profile groups until the "
+        "profile section fits this many bytes",
+    )
     return parser
 
 
@@ -159,11 +193,21 @@ def _cmd_run(args) -> int:
 
 def _cmd_corpus_stats(args) -> int:
     from repro.data import corpus_characteristics, generate_corpus
-    from repro.discovery import DiscoveryIndex
 
-    corpus = generate_corpus(args.tables, style=args.style, seed=args.seed)
-    index = DiscoveryIndex(min_containment=0.3, seed=args.seed).build(corpus)
-    stats = corpus_characteristics(corpus, index)
+    if args.catalog is not None:
+        from repro.catalog import Catalog, CatalogStoreError
+
+        try:
+            stats = Catalog.load(args.catalog).corpus_stats()
+        except CatalogStoreError as error:
+            print(f"error: {error}")
+            return 1
+    else:
+        from repro.discovery import DiscoveryIndex
+
+        corpus = generate_corpus(args.tables, style=args.style, seed=args.seed)
+        index = DiscoveryIndex(min_containment=0.3, seed=args.seed).build(corpus)
+        stats = corpus_characteristics(corpus, index)
     print(f"{'#Tables':>10} {'#Columns':>10} {'#Joinable':>10} {'Size':>12}")
     print(
         f"{stats['tables']:10d} {stats['columns']:10d} "
@@ -194,13 +238,26 @@ def _run_catalog_command(args) -> int:
             print(f"no catalog at {args.dir}")
             return 1
         stats = store.stats()
-        print(f"catalog at {args.dir}")
+        print(f"catalog at {args.dir} (layout v{stats['version']})")
         print(f"  tables          {stats['tables']}")
         print(f"  objects         {stats['objects']}")
         print(f"  profile groups  {stats['profile_groups']}")
         print(f"  profile entries {stats['profile_entries']}")
+        print(f"  profile bytes   {stats['profile_bytes']}B")
         print(f"  disk            {stats['disk_bytes']}B")
         print(f"  config          {stats['config']}")
+        return 0
+
+    if args.catalog_command == "gc":
+        catalog = Catalog.load(args.dir)
+        dropped = catalog.gc()
+        print(f"gc: dropped {dropped} orphaned objects")
+        if args.profile_budget is not None:
+            evicted, freed = catalog.evict_profiles(args.profile_budget)
+            print(
+                f"gc: evicted {evicted} profile groups ({freed}B freed, "
+                f"budget {args.profile_budget}B)"
+            )
         return 0
 
     # Open/validate the catalog before the (potentially expensive) corpus
@@ -213,6 +270,13 @@ def _run_catalog_command(args) -> int:
             # Surface manifest corruption first (raises CatalogStoreError,
             # handled by the command wrapper).
             store.read_manifest()
+            if args.migrate:
+                counts = store.migrate()
+                print(
+                    f"migrated {counts['objects']} objects and "
+                    f"{counts['profiles']} profile groups to the sharded "
+                    "binary layout"
+                )
             # Re-building over an existing catalog with a different — or
             # unknown — corpus definition would silently replace every
             # table right after the "config ignored" warning; direct the

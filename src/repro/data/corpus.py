@@ -69,34 +69,29 @@ def generate_corpus(
     return corpus
 
 
-def corpus_characteristics(corpus, index=None, size_sample: int = 1000) -> dict:
+def corpus_characteristics(
+    corpus=None, index=None, size_sample: int = 1000, catalog=None
+) -> dict:
     """The four Table I columns for a corpus.
 
     ``#Joinable Columns`` counts indexed columns participating in at least
     one joinable pair (requires ``index``; reported as 0 without one).
-    Size is the in-memory cell estimate in bytes; columns longer than
-    ``size_sample`` cells are estimated from a deterministic evenly-spaced
-    sample instead of stringifying every cell, so the statistic stays
-    cheap on production-scale corpora (``size_sample <= 0`` disables
-    sampling and counts every cell).
+    Size is the in-memory cell estimate in bytes, sampled via
+    :meth:`Table.estimated_byte_size`.
+
+    ``catalog`` (a :class:`repro.catalog.Catalog`) switches the report to
+    the disk-artifact path: every statistic — including the joinable
+    count — is served from persisted catalog objects, so no corpus needs
+    to be loaded or re-signed and ``corpus`` may be ``None`` (see
+    :meth:`~repro.catalog.Catalog.corpus_stats` for the memory profile).
     """
+    if catalog is not None:
+        return catalog.corpus_stats(size_sample=size_sample)
+    if corpus is None:
+        raise ValueError("corpus_characteristics needs a corpus or a catalog")
     n_tables = len(corpus)
     n_columns = sum(t.num_columns for t in corpus)
-    size_bytes = 0
-    for table in corpus:
-        for column in table.column_names:
-            cells = table.column(column)
-            if size_sample <= 0 or len(cells) <= size_sample:
-                sample = cells
-            else:
-                stride = len(cells) / size_sample
-                sample = [cells[int(i * stride)] for i in range(size_sample)]
-            if not sample:
-                continue
-            sampled = sum(
-                len(str(v)) if v is not None else 1 for v in sample
-            )
-            size_bytes += int(round(sampled * len(cells) / len(sample)))
+    size_bytes = sum(t.estimated_byte_size(size_sample) for t in corpus)
     joinable = 0
     if index is not None:
         seen = set()

@@ -278,17 +278,9 @@ class DiscoveryIndex:
         return self
 
     # ------------------------------------------------------------------
-    def joinable(self, table: Table, column: str, exclude_table=None) -> list:
-        """Columns joinable with ``table.column``, best-first.
-
-        Returns ``[(ColumnRef, containment)]`` with verified containment of
-        the query column's values in the candidate column, filtered by
-        ``min_containment``.  ``exclude_table`` suppresses self-joins.
-        """
-        query_values = {v.strip().lower() for v in table.distinct_values(column)}
-        if not query_values:
-            return []
-        signature = self._hasher.signature(query_values)
+    def _verified(self, query_values, signature, exclude_table=None) -> list:
+        """LSH probe + containment verification, shared by the live-table
+        and stored-entry query paths."""
         results = []
         for ref in self._lsh.query(signature):
             if exclude_table is not None and ref.table == exclude_table:
@@ -300,9 +292,52 @@ class DiscoveryIndex:
         results.sort(key=lambda item: (-item[1], str(item[0])))
         return results
 
-    def joinable_count(self, table: Table) -> int:
+    def joinable(self, table: Table, column: str, exclude_table=None) -> list:
+        """Columns joinable with ``table.column``, best-first.
+
+        Returns ``[(ColumnRef, containment)]`` with verified containment of
+        the query column's values in the candidate column, filtered by
+        ``min_containment``.  ``exclude_table`` suppresses self-joins.
+        """
+        query_values = {v.strip().lower() for v in table.distinct_values(column)}
+        if not query_values:
+            return []
+        return self._verified(
+            query_values, self._hasher.signature(query_values), exclude_table
+        )
+
+    def joinable_for_entry(self, entry: ColumnEntry, exclude_table=None) -> list:
+        """Joinable candidates for a column given its stored
+        :class:`ColumnEntry` — the catalog-backed query path: no raw table
+        values are touched, so Table-I style reports can run entirely from
+        persisted artifacts.  Uses the entry's normalized set as the query
+        set and its stored signature for the LSH probe; identical to
+        :meth:`joinable` whenever the column's values are already
+        normalized and were not down-sampled at indexing time.
+        """
+        if not entry.normalized:
+            return []
+        return self._verified(entry.normalized, entry.signature, exclude_table)
+
+    def joinable_count(self, table) -> int:
         """Number of repository columns joinable with any column of
-        ``table`` — the Table I '#Joinable Columns' statistic."""
+        ``table`` — the Table I '#Joinable Columns' statistic.
+
+        Accepts a live :class:`Table` (signatures recomputed from its
+        values) or the *name* of an indexed table, which is served from
+        stored entries instead — the path the persistent catalog routes
+        corpus reports through.
+        """
+        if isinstance(table, str):
+            if table not in self._tables:
+                raise KeyError(f"table {table!r} not indexed")
+            name = table
+            seen = set()
+            for column in self._tables[name].column_names:
+                entry = self._entry(ColumnRef(name, column))
+                for ref, _ in self.joinable_for_entry(entry, exclude_table=name):
+                    seen.add(ref)
+            return len(seen)
         seen = set()
         for column in table.column_names:
             for ref, _ in self.joinable(table, column, exclude_table=table.name):

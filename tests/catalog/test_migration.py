@@ -1,0 +1,186 @@
+"""Layout-v1 → v2 migration: read-through compatibility and in-place rewrite.
+
+Builds a catalog, rewrites its store into the PR-1 era layout (version-1
+manifest, flat ``objects/<fp>.json`` / ``profiles/<fp>.json``) with a
+faithful old-writer reimplementation, and asserts that (a) the new code
+opens it transparently with byte-identical discovery output, and (b)
+``repro catalog build --migrate`` rewrites it in place to the sharded
+binary layout without changing any result.
+"""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import prepare_candidates
+from repro.catalog import Catalog, CatalogStore
+from repro.catalog.store import CODECS, VERSION
+from repro.cli import main
+from repro.data import generate_corpus
+from repro.data.generator import make_keys
+from repro.dataframe.table import Table
+
+SEED = 0
+N_TABLES = 12
+
+
+def base_table(n_rows=120, n_pools=4):
+    rng = np.random.default_rng(SEED)
+    columns = {
+        f"key_{p}": make_keys(n_rows, prefix=f"k{p}_", start=0)
+        for p in range(n_pools)
+    }
+    columns["signal"] = rng.normal(size=n_rows).tolist()
+    return Table("mig_base", columns)
+
+
+def downgrade_to_v1(store: CatalogStore) -> None:
+    """Rewrite a v2 store as the version-1 flat layout (the old writer):
+    flat JSON objects and profile groups, a version-1 manifest, no shard
+    directories.  The snapshot format never changed, so it stays."""
+    for fingerprint in store.list_objects():
+        meta, entries = store.read_object(fingerprint)
+        with open(store._legacy_object_path(fingerprint), "wb") as handle:
+            handle.write(CODECS[1].encode(meta, entries))
+    for group in store.list_profile_groups():
+        entries = store.read_profiles(group)
+        payload = {
+            "entries": {
+                key: [float(x) for x in np.asarray(vector).tolist()]
+                for key, vector in sorted(entries.items())
+            }
+        }
+        with open(store._legacy_profile_path(group), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+    for section in ("objects", "profiles"):
+        directory = os.path.join(store.root, section)
+        for name in os.listdir(directory):
+            path = os.path.join(directory, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+    manifest = json.load(open(store.manifest_path))
+    manifest["version"] = 1
+    json.dump(manifest, open(store.manifest_path, "w"), indent=1, sort_keys=True)
+
+
+def flat_files(store: CatalogStore, section: str) -> list:
+    directory = os.path.join(store.root, section)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        name for name in os.listdir(directory)
+        if os.path.isfile(os.path.join(directory, name))
+    )
+
+
+@pytest.fixture
+def v1_catalog(tmp_path):
+    """A catalog dir in v1 layout + the corpus and cold reference output."""
+    root = str(tmp_path / "cat")
+    assert main(["catalog", "build", root, "--tables", str(N_TABLES),
+                 "--seed", str(SEED)]) == 0
+    corpus_list = generate_corpus(N_TABLES, style="open_data", seed=SEED)
+    corpus = {t.name: t for t in corpus_list}
+    base = base_table()
+    cold = prepare_candidates(base, corpus, seed=SEED)
+    # Populate the profile cache through a warm run, then downgrade.
+    warm = Catalog.load(root, corpus=corpus)
+    prepare_candidates(base, corpus, seed=SEED, catalog=warm)
+    downgrade_to_v1(CatalogStore(root))
+    return root, corpus, base, cold
+
+
+def assert_same_candidates(cold, warm):
+    assert [c.aug_id for c in warm] == [c.aug_id for c in cold]
+    assert [c.overlap for c in warm] == [c.overlap for c in cold]
+    for cold_c, warm_c in zip(cold, warm):
+        assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
+
+
+class TestReadThrough:
+    def test_v1_store_opens_with_identical_output(self, v1_catalog):
+        root, corpus, base, cold = v1_catalog
+        store = CatalogStore(root)
+        assert store.read_manifest()["version"] == 1
+        assert flat_files(store, "objects")  # really is the flat layout
+
+        catalog = Catalog.load(root, corpus=corpus)
+        assert catalog.computed_columns == 0, "v1 store was re-signed"
+        warm = prepare_candidates(base, corpus, seed=SEED, catalog=catalog)
+        assert_same_candidates(cold, warm)
+
+    def test_v1_profile_groups_served(self, v1_catalog):
+        root, corpus, base, _cold = v1_catalog
+        from repro.profiles.registry import default_registry
+
+        catalog = Catalog.load(root, corpus=corpus)
+        cache = catalog.profile_cache(base, default_registry(), seed=SEED)
+        assert len(cache) > 0  # flat JSON groups are read through
+
+
+class TestMigrateCli:
+    def test_build_migrate_rewrites_in_place(self, v1_catalog, capsys):
+        root, corpus, base, cold = v1_catalog
+        assert main(["catalog", "build", root, "--tables", str(N_TABLES),
+                     "--seed", str(SEED), "--migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out
+        assert "0 columns signed" in out  # migration never re-signs
+
+        store = CatalogStore(root)
+        assert store.read_manifest()["version"] == VERSION
+        assert flat_files(store, "objects") == []  # no flat objects remain
+        assert flat_files(store, "profiles") == []
+        assert len(store.list_objects()) == N_TABLES
+        for fingerprint in store.list_objects():
+            assert os.path.exists(store._object_path(fingerprint))  # .bin
+
+        catalog = Catalog.load(root, corpus=corpus)
+        assert catalog.computed_columns == 0
+        warm = prepare_candidates(base, corpus, seed=SEED, catalog=catalog)
+        assert_same_candidates(cold, warm)
+
+    def test_migrate_is_idempotent(self, v1_catalog):
+        root, _corpus, _base, _cold = v1_catalog
+        store = CatalogStore(root)
+        first = store.migrate()
+        assert first["objects"] == N_TABLES
+        assert first["profiles"] >= 1
+        assert store.migrate() == {"objects": 0, "profiles": 0}
+
+    def test_migrate_cleans_superseded_legacy_duplicates(self, v1_catalog):
+        # Crash window inside write_object: the .bin landed but the
+        # legacy flat file was never removed.  A migrate re-run must
+        # finish that cleanup even though nothing needs re-encoding.
+        root, _corpus, _base, _cold = v1_catalog
+        store = CatalogStore(root)
+        store.migrate()
+        fingerprint = store.list_objects()[0]
+        meta, entries = store.read_object(fingerprint)
+        with open(store._legacy_object_path(fingerprint), "wb") as handle:
+            handle.write(CODECS[1].encode(meta, entries))
+        assert store.migrate() == {"objects": 0, "profiles": 0}
+        assert not os.path.exists(store._legacy_object_path(fingerprint))
+
+    def test_interrupted_migration_still_serves_everything(self, v1_catalog):
+        # Simulate a crash mid-migration: only some objects moved.  Both
+        # layouts coexist; every object stays readable and a re-run
+        # finishes the job.
+        root, corpus, base, cold = v1_catalog
+        store = CatalogStore(root)
+        moved = 0
+        for fingerprint in store.list_objects():
+            if moved >= N_TABLES // 2:
+                break
+            meta, entries = store.read_object(fingerprint)
+            store.write_object(fingerprint, meta, entries, overwrite=True)
+            moved += 1
+        catalog = Catalog.load(root, corpus=corpus)
+        warm = prepare_candidates(base, corpus, seed=SEED, catalog=catalog)
+        assert_same_candidates(cold, warm)
+        remaining = store.migrate()
+        assert remaining["objects"] == N_TABLES - moved
+        assert flat_files(store, "objects") == []

@@ -1,12 +1,14 @@
 """Tests for the content-addressed catalog store."""
 
+import json
 import os
 
 import numpy as np
 import pytest
 
 from repro.catalog import CatalogStore, table_fingerprint
-from repro.catalog.store import VERSION, CatalogStoreError
+from repro.catalog.fingerprint import shard_of
+from repro.catalog.store import CODECS, VERSION, CatalogStoreError
 from repro.dataframe.table import Table
 from repro.discovery.index import ColumnEntry
 
@@ -167,8 +169,244 @@ class TestStats:
         store.write_object("fp", {}, {"c": make_entry({"a"})})
         store.write_profiles("base", {"k": np.array([0.5])})
         stats = store.stats()
+        assert stats["version"] == VERSION
         assert stats["tables"] == 1
         assert stats["objects"] == 1
         assert stats["profile_entries"] == 1
+        assert stats["profile_bytes"] > 0
         assert stats["disk_bytes"] > 0
         assert os.path.isdir(store.root)
+
+
+class TestShardedLayout:
+    def test_objects_land_in_hash_prefix_directories(self, store):
+        store.write_object("someid", {}, {"c": make_entry({"a"})})
+        shard = shard_of("someid")
+        assert len(shard) == 2
+        path = os.path.join(store.root, "objects", shard, "someid.bin")
+        assert os.path.exists(path)
+        assert store._object_path("someid") == path
+        # And the shard manifest records the codec that wrote it.
+        manifest = store._read_shard_manifest(os.path.dirname(path))
+        assert manifest["objects"]["someid"] == CODECS[2].version
+
+    def test_shards_spread_across_directories(self, store):
+        for i in range(64):
+            store.write_object(f"fp{i:03d}", {}, {"c": make_entry({str(i)})})
+        objects_dir = os.path.join(store.root, "objects")
+        shards = [d for d in os.listdir(objects_dir)
+                  if os.path.isdir(os.path.join(objects_dir, d))]
+        assert len(shards) > 10  # 64 keys over 256 shards: heavy reuse is a bug
+        assert sorted(store.list_objects()) == [f"fp{i:03d}" for i in range(64)]
+
+    def test_delete_object_cleans_shard_manifest(self, store):
+        store.write_object("gone", {}, {"c": make_entry({"a"})})
+        shard_dir = os.path.dirname(store._object_path("gone"))
+        store.delete_object("gone")
+        assert not store.has_object("gone")
+        assert "gone" not in store._read_shard_manifest(shard_dir).get("objects", {})
+
+    def test_profiles_land_in_hash_prefix_directories(self, store):
+        store.write_profiles("basefp", {"k": np.array([0.5])})
+        path = os.path.join(
+            store.root, "profiles", shard_of("basefp"), "basefp.npz"
+        )
+        assert os.path.exists(path)
+        assert store.list_profile_groups() == ["basefp"]
+
+
+class TestShardManifestHealing:
+    def test_stale_manifest_claiming_missing_file(self, store):
+        # The manifest says the object exists, but the file vanished:
+        # reads report a clean miss (KeyError → caller recomputes), never
+        # crash or serve something else.
+        store.write_object("fp", {}, {"c": make_entry({"a"})})
+        os.remove(store._object_path("fp"))
+        assert not store.has_object("fp")
+        with pytest.raises(KeyError):
+            store.read_object("fp")
+        # A rewrite heals both the file and the bookkeeping.
+        store.write_object("fp", {}, {"c": make_entry({"a"})}, overwrite=True)
+        assert store.read_object("fp")[1]["c"] == make_entry({"a"})
+
+    def test_stale_manifest_recording_wrong_codec(self, store):
+        store.write_object("fp", {"m": 1}, {"c": make_entry({"a"})})
+        shard_dir = os.path.dirname(store._object_path("fp"))
+        manifest_path = os.path.join(shard_dir, "manifest.json")
+        payload = json.load(open(manifest_path))
+        payload["objects"]["fp"] = 1  # lies: the file on disk is binary
+        json.dump(payload, open(manifest_path, "w"))
+        meta, entries = store.read_object("fp")  # probing finds the truth
+        assert meta == {"m": 1}
+        assert entries["c"] == make_entry({"a"})
+
+    def test_corrupt_shard_manifest_degrades_to_probing(self, store):
+        store.write_object("fp", {}, {"c": make_entry({"a"})})
+        shard_dir = os.path.dirname(store._object_path("fp"))
+        with open(os.path.join(shard_dir, "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        assert store.has_object("fp")
+        assert store.read_object("fp")[1]["c"] == make_entry({"a"})
+        # The next write rebuilds the manifest from scratch.
+        store.write_object("fp2", {}, {"c": make_entry({"b"})})
+        rebuilt = store._read_shard_manifest(shard_dir)
+        if shard_of("fp2") == shard_of("fp"):
+            assert "fp2" in rebuilt["objects"]
+
+    def test_wrong_typed_manifest_section_degrades_not_crashes(self, store):
+        # JSON-valid but wrong-typed sections ({"objects": []}) are
+        # corruption too: reads degrade to probing and writes replace
+        # the section, never AttributeError/TypeError.
+        store.write_object("fp", {"m": 1}, {"c": make_entry({"a"})})
+        shard_dir = os.path.dirname(store._object_path("fp"))
+        with open(os.path.join(shard_dir, "manifest.json"), "w") as handle:
+            json.dump({"objects": []}, handle)
+        assert store.has_object("fp")
+        assert store.read_object("fp")[0] == {"m": 1}
+        store.write_object("fp2", {}, {"c": make_entry({"b"})}, overwrite=True)
+        assert store.read_object("fp2")[1]["c"] == make_entry({"b"})
+
+    def test_wrong_typed_profile_section_keeps_cache_served(self, store):
+        store.write_profiles("base1", {"k": np.array([0.5, 0.25])})
+        shard_dir = store._profile_shard_dir("base1")
+        with open(os.path.join(shard_dir, "manifest.json"), "w") as handle:
+            json.dump({"groups": []}, handle)
+        # The healthy .npz must still be served (and re-touched), not
+        # discarded because LRU bookkeeping was corrupt.
+        loaded = store.read_profiles("base1")
+        assert np.allclose(loaded["k"], [0.5, 0.25])
+        rebuilt = store._read_shard_section(shard_dir, "groups")
+        assert "base1" in rebuilt  # touch repaired the section
+
+    def test_truncated_binary_object_raises_store_error(self, store):
+        store.write_object("fp", {}, {"c": make_entry({"a", "b", "c"})})
+        path = store._object_path("fp")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CatalogStoreError):
+            store.read_object("fp")
+
+
+class TestReadObjectMeta:
+    def test_meta_matches_full_read(self, store):
+        meta = {"name": "t", "num_rows": 3, "size_bytes": 99}
+        store.write_object("fp", meta, {"c": make_entry({"a"})})
+        assert store.read_object_meta("fp") == meta
+        assert store.read_object("fp")[0] == meta
+
+    def test_missing_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.read_object_meta("nope")
+
+
+class TestLegacyLayoutReadThrough:
+    def write_v1_object(self, store, fingerprint, meta, entries):
+        os.makedirs(os.path.join(store.root, "objects"), exist_ok=True)
+        with open(store._legacy_object_path(fingerprint), "wb") as handle:
+            handle.write(CODECS[1].encode(meta, entries))
+
+    def test_flat_v1_object_readable(self, store):
+        entries = {"c": make_entry({"a", "B "})}
+        self.write_v1_object(store, "fp", {"name": "t"}, entries)
+        assert store.has_object("fp")
+        assert "fp" in store.list_objects()
+        meta, loaded = store.read_object("fp")
+        assert meta == {"name": "t"}
+        assert loaded == entries
+
+    def test_write_supersedes_flat_v1_object(self, store):
+        self.write_v1_object(store, "fp", {"name": "old"}, {"c": make_entry({"a"})})
+        store.write_object("fp", {"name": "new"}, {"c": make_entry({"a"})},
+                           overwrite=True)
+        assert not os.path.exists(store._legacy_object_path("fp"))
+        assert store.read_object("fp")[0] == {"name": "new"}
+
+    def test_flat_v1_profiles_readable(self, store):
+        os.makedirs(os.path.join(store.root, "profiles"), exist_ok=True)
+        with open(store._legacy_profile_path("base"), "w") as handle:
+            json.dump({"entries": {"k": [0.25, 0.75]}}, handle)
+        loaded = store.read_profiles("base")
+        assert np.allclose(loaded["k"], [0.25, 0.75])
+        assert store.list_profile_groups() == ["base"]
+        # The next flush migrates the group to the sharded layout.
+        store.write_profiles("base", loaded)
+        assert not os.path.exists(store._legacy_profile_path("base"))
+        assert os.path.exists(store._profile_path("base"))
+
+
+class TestProfileEviction:
+    def clock(self, monkeypatch):
+        import repro.catalog.store as store_module
+
+        ticks = iter(range(1, 10_000))
+        monkeypatch.setattr(store_module, "_now", lambda: float(next(ticks)))
+
+    def test_budget_enforced_on_write_evicts_lru(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"), profile_budget_bytes=1)
+        vector = np.arange(64, dtype=float)
+        store.write_profiles("a", {"k": vector})  # t=1
+        store.write_profiles("b", {"k": vector})  # t=2 → evicts a, keeps b
+        assert store.list_profile_groups() == ["b"]
+        store.write_profiles("c", {"k": vector})  # t=3 → evicts b, keeps c
+        assert store.list_profile_groups() == ["c"]
+
+    def test_reads_refresh_lru_position(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"))
+        vector = np.arange(64, dtype=float)
+        store.write_profiles("a", {"k": vector})  # t=1
+        store.write_profiles("b", {"k": vector})  # t=2
+        assert store.read_profiles("a")  # t=3: a is now the hottest
+        evicted, freed = store.evict_profiles(_group_bytes(store, "a"))
+        assert evicted == 1
+        assert freed > 0
+        assert store.list_profile_groups() == ["a"]
+
+    def test_writer_never_evicts_its_own_group(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"), profile_budget_bytes=0)
+        store.write_profiles("only", {"k": np.array([1.0])})
+        # Budget 0 can never fit the group, but the just-written group
+        # must survive its own flush.
+        assert store.list_profile_groups() == ["only"]
+
+    def test_within_budget_evicts_nothing(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"))
+        store.write_profiles("a", {"k": np.array([1.0])})
+        assert store.evict_profiles(10**9) == (0, 0)
+        assert store.profile_bytes() > 0
+
+    def test_eviction_survives_manifest_loss(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"))
+        vector = np.arange(8, dtype=float)
+        store.write_profiles("a", {"k": vector})
+        store.write_profiles("b", {"k": vector})
+        for group in ("a", "b"):
+            manifest = os.path.join(
+                store._profile_shard_dir(group), "manifest.json"
+            )
+            if os.path.exists(manifest):
+                os.remove(manifest)
+        # Bookkeeping gone: eviction heals from file mtimes/sizes and
+        # still enforces the budget instead of crashing.
+        evicted, _freed = store.evict_profiles(0)
+        assert evicted == 2
+        assert store.list_profile_groups() == []
+
+    def test_evicts_legacy_flat_groups_too(self, tmp_path, monkeypatch):
+        self.clock(monkeypatch)
+        store = CatalogStore(str(tmp_path / "cat"))
+        os.makedirs(os.path.join(store.root, "profiles"), exist_ok=True)
+        with open(store._legacy_profile_path("old"), "w") as handle:
+            json.dump({"entries": {"k": [0.5]}}, handle)
+        evicted, _freed = store.evict_profiles(0)
+        assert evicted == 1
+        assert store.list_profile_groups() == []
+
+
+def _group_bytes(store, base_fingerprint):
+    return os.path.getsize(store._profile_path(base_fingerprint))
