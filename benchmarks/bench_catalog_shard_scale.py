@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from benchmarks.common import report, scaled
-from repro import prepare_candidates
+from repro import DiscoveryEngine
 from repro.catalog import Catalog, CatalogStore
 from repro.catalog.store import CODECS
 from repro.data import generate_corpus
@@ -142,14 +142,14 @@ def test_catalog_shard_scale(benchmark, tmp_path):
         v1_root = str(tmp_path / "cat_v1")
         shutil.copytree(v2_root, v1_root)
         _downgrade_to_v1(CatalogStore(v1_root))
-        v2_candidates = prepare_candidates(
-            base, small["corpus"], seed=SEED,
+        v2_engine = DiscoveryEngine(
+            corpus=small["corpus"],
             catalog=Catalog.load(v2_root, corpus=small["corpus"]),
         )
+        v2_candidates = v2_engine.prepare(base, seed=SEED)
         v1_catalog = Catalog.load(v1_root, corpus=small["corpus"])
-        v1_candidates = prepare_candidates(
-            base, small["corpus"], seed=SEED, catalog=v1_catalog
-        )
+        v1_engine = DiscoveryEngine(corpus=small["corpus"], catalog=v1_catalog)
+        v1_candidates = v1_engine.prepare(base, seed=SEED)
         assert v1_catalog.computed_columns == 0, "v1 store was re-signed"
         assert [c.aug_id for c in v1_candidates] == [
             c.aug_id for c in v2_candidates

@@ -6,7 +6,7 @@ informative ones (I:3 UI:0) degrades it.
 """
 
 from benchmarks.common import report, scaled
-from repro import MetamConfig, prepare_candidates, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import housing_scenario
 from repro.profiles import default_registry
 
@@ -30,17 +30,23 @@ def test_fig10_remove_profiles(benchmark):
         "I:3 UI:0": (3, 0),
     }
 
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+
     def run_sweep():
         results = {}
         for name, (informative, uninformative) in settings.items():
             registry = _registry(informative, uninformative)
-            candidates = prepare_candidates(
-                scenario.base, scenario.corpus, registry=registry, seed=0
-            )
             config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
-            results[name] = run_metam(
-                candidates, scenario.base, scenario.corpus, scenario.task, config
-            )
+            results[name] = engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher="metam",
+                    seed=0,
+                    config=config,
+                    registry=registry,
+                )
+            ).result
         return results
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

@@ -8,8 +8,7 @@ on redundant candidates.
 """
 
 from benchmarks.common import report, scaled
-from repro import MetamConfig, prepare_candidates, run_metam
-from repro.baselines import metam_variant
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import housing_scenario
 
 QUERY_POINTS = (10, 25, 50, 100, 150)
@@ -19,7 +18,8 @@ def test_fig11a_vary_epsilon(benchmark):
     scenario = housing_scenario(
         seed=0, n_irrelevant=scaled(25), n_erroneous=scaled(15), n_traps=scaled(8)
     )
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    candidates = engine.prepare(scenario.base, seed=0)
     epsilons = (0.03, 0.05, 0.07, 0.15)
 
     def run_sweep():
@@ -28,9 +28,15 @@ def test_fig11a_vary_epsilon(benchmark):
             config = MetamConfig(
                 theta=1.0, query_budget=150, epsilon=epsilon, seed=0
             )
-            results[f"eps={epsilon}"] = run_metam(
-                candidates, scenario.base, scenario.corpus, scenario.task, config
-            )
+            results[f"eps={epsilon}"] = engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher="metam",
+                    config=config,
+                    candidates=candidates,
+                )
+            ).result
         return results
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -49,17 +55,24 @@ def test_fig11b_variants(benchmark):
     scenario = housing_scenario(
         seed=0, n_irrelevant=scaled(25), n_erroneous=scaled(15), n_traps=scaled(8)
     )
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    candidates = engine.prepare(scenario.base, seed=0)
     base_config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
 
     def run_sweep():
+        # The ablation variants are first-class registry entries, so the
+        # sweep is just four requests against the shared candidate set.
         results = {}
         for name in ("metam", "eq", "nc", "nceq"):
-            searcher = metam_variant(
-                name, candidates, scenario.base, scenario.corpus,
-                scenario.task, base_config,
-            )
-            results[name] = searcher.run()
+            results[name] = engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher=name,
+                    config=base_config,
+                    candidates=candidates,
+                )
+            ).result
         return results
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

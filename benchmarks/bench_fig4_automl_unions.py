@@ -8,7 +8,7 @@ searchers must tell them apart interventionally.
 """
 
 from benchmarks.common import report, run_comparison, scaled, series_table
-from repro import prepare_candidates
+from repro import CandidateSpec, DiscoveryEngine
 from repro.data import schools_scenario, unions_scenario
 from repro.tasks import AutoMLTask
 
@@ -41,11 +41,10 @@ def test_fig4b_unions(benchmark):
     scenario = unions_scenario(
         seed=0, n_good_unions=scaled(8), n_bad_unions=scaled(8)
     )
-    candidates = prepare_candidates(
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    candidates = engine.prepare(
         scenario.base,
-        scenario.corpus,
-        include_unions=True,
-        min_union_shared=0.9,
+        spec=CandidateSpec(include_unions=True, min_union_shared=0.9),
         seed=0,
     )
     union_candidates = [c for c in candidates if c.aug_id.startswith("union:")]

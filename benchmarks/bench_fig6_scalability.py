@@ -12,7 +12,7 @@ import time
 
 from benchmarks.common import report, scaled
 from benchmarks.synthetic import make_synthetic_search
-from repro import MetamConfig, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.baselines import MultiplicativeWeightsSearcher, UniformSearcher
 
 
@@ -27,8 +27,13 @@ def _time_metam(n_candidates, n_profiles, budget, seed=0):
         run_minimality=False,
         seed=seed,
     )
+    engine = DiscoveryEngine(corpus=corpus)
+    request = DiscoveryRequest(
+        base=base, task=task, searcher="metam", config=config,
+        candidates=candidates,
+    )
     start = time.perf_counter()
-    run_metam(candidates, base, corpus, task, config)
+    engine.discover(request)
     return time.perf_counter() - start
 
 

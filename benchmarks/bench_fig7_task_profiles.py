@@ -7,7 +7,7 @@ beats MW and the static baselines.
 """
 
 from benchmarks.common import report, scaled, series_table
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import collisions_scenario, housing_scenario
 from repro.profiles import ArdaImportanceProfile, ArdaScorer, default_registry
 
@@ -15,27 +15,34 @@ QUERY_POINTS = (10, 25, 50, 100, 150)
 
 
 def _run_panel(scenario, target, mode):
-    plain = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    plain = engine.prepare(scenario.base, seed=0)
     scorer = ArdaScorer(scenario.base, target, mode=mode, seed=0)
     scores = scorer.score_columns({c.aug_id: c.values for c in plain})
     arda_registry = default_registry().add(ArdaImportanceProfile(scores))
-    enriched = prepare_candidates(
-        scenario.base, scenario.corpus, registry=arda_registry, seed=0
-    )
+    enriched = engine.prepare(scenario.base, registry=arda_registry, seed=0)
     config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
+
+    def discover(searcher, candidates, **overrides):
+        return engine.discover(
+            DiscoveryRequest(
+                base=scenario.base,
+                task=scenario.task,
+                searcher=searcher,
+                theta=1.0,
+                query_budget=150,
+                seed=0,
+                candidates=candidates,
+                **overrides,
+            )
+        ).result
+
     results = {
-        "metam+arda": run_metam(
-            enriched, scenario.base, scenario.corpus, scenario.task, config
-        ),
-        "metam": run_metam(
-            plain, scenario.base, scenario.corpus, scenario.task, config
-        ),
+        "metam+arda": discover("metam", enriched, config=config),
+        "metam": discover("metam", plain, config=config),
     }
     for name in ("mw", "overlap", "uniform"):
-        results[name] = run_baseline(
-            name, plain, scenario.base, scenario.corpus, scenario.task,
-            theta=1.0, query_budget=150, seed=0,
-        )
+        results[name] = discover(name, plain)
     return results
 
 

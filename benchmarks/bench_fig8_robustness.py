@@ -7,10 +7,8 @@ found within a few hundred queries, and the query count grows with the
 distractor count but stays far below exhaustive search.
 """
 
-import numpy as np
-
 from benchmarks.common import report, scaled
-from repro import MetamConfig, prepare_candidates, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data.generator import RepositoryBuilder, make_keys
 from repro.dataframe.table import Table
 from repro.tasks.causal.howto import HowToTask
@@ -49,9 +47,13 @@ def _single_truth_scenario(n_irrelevant: int, n_erroneous: int, seed: int = 0):
 
 def _queries_to_truth(n_irrelevant: int, n_erroneous: int, seed: int = 0) -> int:
     base, corpus, task = _single_truth_scenario(n_irrelevant, n_erroneous, seed)
-    candidates = prepare_candidates(base, corpus, seed=seed)
+    engine = DiscoveryEngine(corpus=corpus)
     config = MetamConfig(theta=1.0, query_budget=2000, epsilon=0.1, seed=seed)
-    result = run_metam(candidates, base, corpus, task, config)
+    result = engine.discover(
+        DiscoveryRequest(
+            base=base, task=task, searcher="metam", seed=seed, config=config
+        )
+    ).result
     assert result.utility == 1.0, "ground truth not found within budget"
     # Queries spent until the trace first reaches utility 1.0.
     for step, value in result.trace:

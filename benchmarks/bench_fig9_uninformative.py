@@ -5,7 +5,7 @@ learns to ignore them at the cost of a few extra queries.
 """
 
 from benchmarks.common import report, scaled
-from repro import MetamConfig, prepare_candidates, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import housing_scenario
 from repro.profiles import default_registry
 
@@ -18,17 +18,23 @@ def test_fig9_uninformative_profiles(benchmark):
         seed=0, n_irrelevant=scaled(25), n_erroneous=scaled(15), n_traps=scaled(8)
     )
 
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+
     def run_sweep():
         results = {}
         for ui in UI_COUNTS:
             registry = default_registry().with_random_profiles(ui, seed=7)
-            candidates = prepare_candidates(
-                scenario.base, scenario.corpus, registry=registry, seed=0
-            )
             config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
-            results[f"UI:{ui}"] = run_metam(
-                candidates, scenario.base, scenario.corpus, scenario.task, config
-            )
+            results[f"UI:{ui}"] = engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher="metam",
+                    seed=0,
+                    config=config,
+                    registry=registry,
+                )
+            ).result
         return results
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)

@@ -11,13 +11,7 @@ from __future__ import annotations
 
 import os
 
-from repro import MetamConfig, prepare_candidates, run_metam
-from repro.baselines import (
-    IArdaSearcher,
-    MultiplicativeWeightsSearcher,
-    OverlapSearcher,
-    UniformSearcher,
-)
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -56,55 +50,47 @@ def run_comparison(
     epsilon: float = 0.1,
     seed: int = 0,
     include_iarda: bool = False,
-    iarda_target: str = None,
+    iarda_target: str | None = None,
     iarda_mode: str = "classification",
-    metam_config: MetamConfig = None,
+    metam_config: MetamConfig | None = None,
     candidates=None,
+    engine: DiscoveryEngine | None = None,
 ) -> dict:
     """Run METAM + MW/Overlap/Uniform (+iARDA) on one scenario.
 
     Returns ``{searcher_name: SearchResult}``; all searchers share the
-    candidate set so query counts are comparable.
+    candidate set (prepared once by the engine) so query counts are
+    comparable.  ``engine`` reuses an existing warm engine.
     """
+    if engine is None:
+        engine = DiscoveryEngine(corpus=scenario.corpus)
     if candidates is None:
-        candidates = prepare_candidates(scenario.base, scenario.corpus, seed=seed)
+        candidates = engine.prepare(scenario.base, seed=seed)
     config = metam_config or MetamConfig(
         theta=theta, query_budget=budget, epsilon=epsilon, seed=seed
     )
-    results = {
-        "metam": run_metam(
-            candidates, scenario.base, scenario.corpus, scenario.task, config
-        )
-    }
-    baseline_classes = {
-        "mw": MultiplicativeWeightsSearcher,
-        "overlap": OverlapSearcher,
-        "uniform": UniformSearcher,
-    }
-    for name, cls in baseline_classes.items():
-        searcher = cls(
-            candidates,
-            scenario.base,
-            scenario.corpus,
-            scenario.task,
+
+    def discover(searcher, **overrides):
+        request = DiscoveryRequest(
+            base=scenario.base,
+            task=scenario.task,
+            searcher=searcher,
             theta=theta,
             query_budget=budget,
             seed=seed,
+            candidates=candidates,
+            **overrides,
         )
-        results[name] = searcher.run()
+        return engine.discover(request).result
+
+    results = {"metam": discover("metam", config=config)}
+    for name in ("mw", "overlap", "uniform"):
+        results[name] = discover(name)
     if include_iarda:
-        searcher = IArdaSearcher(
-            candidates,
-            scenario.base,
-            scenario.corpus,
-            scenario.task,
-            target_column=iarda_target,
-            mode=iarda_mode,
-            theta=theta,
-            query_budget=budget,
-            seed=seed,
+        results["iarda"] = discover(
+            "iarda",
+            options={"target_column": iarda_target, "mode": iarda_mode},
         )
-        results["iarda"] = searcher.run()
     return results
 
 

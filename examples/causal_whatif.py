@@ -8,7 +8,7 @@ steers discovery toward the augmentations the causal task certifies.
 Run:  python examples/causal_whatif.py
 """
 
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import sat_whatif_scenario
 from repro.tasks.base import canonical_column
 
@@ -19,23 +19,29 @@ def main():
           "'critical_reading_score'?")
     print(f"Planted affected attributes: {sorted(scenario.truth_columns)}\n")
 
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
-    print(f"Candidate augmentations: {len(candidates)}")
-
-    config = MetamConfig(theta=1.0, query_budget=250, epsilon=0.1, seed=0)
-    result = run_metam(
-        candidates, scenario.base, scenario.corpus, scenario.task, config
-    )
-    print(f"\n{result.summary()}")
-    found = {canonical_column(a) for a in result.selected}
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    run = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="metam",
+        seed=0,
+        config=MetamConfig(theta=1.0, query_budget=250, epsilon=0.1, seed=0),
+    ))
+    print(f"Candidate augmentations: {run.n_candidates}")
+    print(f"\n{run.result.summary()}")
+    found = {canonical_column(a) for a in run.result.selected}
     print(f"Causally affected attributes discovered: {sorted(found)}")
     print(f"Recall of ground truth: "
           f"{len(found & scenario.truth_columns)}/{len(scenario.truth_columns)}")
 
-    mw = run_baseline(
-        "mw", candidates, scenario.base, scenario.corpus, scenario.task,
-        theta=1.0, query_budget=250, seed=0,
-    )
+    mw = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="mw",
+        theta=1.0,
+        query_budget=250,
+        seed=0,
+    )).result
     print(f"\nMW baseline for comparison: {mw.summary()}")
 
 

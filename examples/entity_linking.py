@@ -9,7 +9,7 @@ in a handful of queries, matching the paper's report of 4 queries versus
 Run:  python examples/entity_linking.py
 """
 
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import entity_linking_scenario
 from repro.tasks.base import canonical_column
 
@@ -20,22 +20,28 @@ def main():
     print(f"Linking accuracy without augmentation: {base_accuracy:.3f}")
     print("(ambiguous city names cannot be resolved)\n")
 
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
-    print(f"Candidate augmentations: {len(candidates)}")
-
-    config = MetamConfig(theta=0.99, query_budget=60, epsilon=0.1, seed=0)
-    result = run_metam(
-        candidates, scenario.base, scenario.corpus, scenario.task, config
-    )
-    print(f"\n{result.summary()}")
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    run = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="metam",
+        seed=0,
+        config=MetamConfig(theta=0.99, query_budget=60, epsilon=0.1, seed=0),
+    ))
+    print(f"Candidate augmentations: {run.n_candidates}")
+    print(f"\n{run.result.summary()}")
     print("Selected augmentations:",
-          [canonical_column(a) for a in result.selected])
+          [canonical_column(a) for a in run.result.selected])
 
     for name in ("mw", "uniform"):
-        r = run_baseline(
-            name, candidates, scenario.base, scenario.corpus, scenario.task,
-            theta=0.99, query_budget=60, seed=0,
-        )
+        r = engine.discover(DiscoveryRequest(
+            base=scenario.base,
+            task=scenario.task,
+            searcher=name,
+            theta=0.99,
+            query_budget=60,
+            seed=0,
+        )).result
         print(f"{name}: reached {r.utility:.3f} in {r.queries} queries")
 
 

@@ -8,7 +8,7 @@ unfair feature; METAM's weighted profile combination finds the fair one.
 Run:  python examples/fair_ml.py
 """
 
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import fairness_scenario
 from repro.profiles.extensions import extended_registry
 from repro.tasks.base import canonical_column
@@ -20,26 +20,36 @@ def main():
     print("(features correlated with 'age' are dropped before training)\n")
 
     # The extension registry adds a fairness profile keyed to the
-    # sensitive attribute — "casting a wide net" as §IV-B suggests.
+    # sensitive attribute — "casting a wide net" as §IV-B suggests.  The
+    # request carries the registry override; the engine caches candidate
+    # sets per registry, so both searchers below share one preparation.
     registry = extended_registry(sensitive_column="age")
-    candidates = prepare_candidates(
-        scenario.base, scenario.corpus, registry=registry, seed=0
-    )
-    print(f"Candidate augmentations: {len(candidates)} "
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+
+    run = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="metam",
+        seed=0,
+        registry=registry,
+        config=MetamConfig(theta=0.75, query_budget=60, epsilon=0.1, seed=0),
+    ))
+    print(f"Candidate augmentations: {run.n_candidates} "
           f"(profiled with {len(registry)} profiles)\n")
+    print(run.result.summary())
+    print("Selected:", [canonical_column(a) for a in run.result.selected])
 
-    config = MetamConfig(theta=0.75, query_budget=60, epsilon=0.1, seed=0)
-    result = run_metam(
-        candidates, scenario.base, scenario.corpus, scenario.task, config
-    )
-    print(result.summary())
-    print("Selected:", [canonical_column(a) for a in result.selected])
-
-    overlap = run_baseline(
-        "overlap", candidates, scenario.base, scenario.corpus, scenario.task,
-        theta=0.75, query_budget=60, seed=0,
-    )
-    print(f"\nOverlap baseline: {overlap.summary()}")
+    overlap = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="overlap",
+        theta=0.75,
+        query_budget=60,
+        seed=0,
+        registry=registry,
+    ))
+    assert overlap.candidate_source == "cache"
+    print(f"\nOverlap baseline: {overlap.result.summary()}")
 
 
 if __name__ == "__main__":

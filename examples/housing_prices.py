@@ -2,16 +2,17 @@
 
 Predicting house prices, METAM finds the "obvious" augmentations (income,
 crime) and the non-obvious ones (Walmart presence, taxi trips, grocery
-stores) without human guidance.  This example prints the discovery
-pipeline stage by stage: candidates, clusters, learned profile weights,
-and the utility-vs-queries trace for METAM and every baseline.
+stores) without human guidance.  This example serves every searcher from
+one DiscoveryEngine and prints the discovery pipeline stage by stage:
+candidates, clusters, learned profile weights, the run's live event
+stream, and the utility-vs-queries trace for METAM and every baseline.
 
 Run:  python examples/housing_prices.py
 """
 
 import numpy as np
 
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.core.clustering import cluster_partition
 from repro.data import housing_scenario
 from repro.profiles import default_registry
@@ -25,7 +26,8 @@ def main():
     base_utility = scenario.task.utility(scenario.base)
     print(f"Base classifier accuracy (no augmentation): {base_utility:.3f}\n")
 
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    candidates = engine.prepare(scenario.base, seed=0)
     print(f"Candidate augmentations: {len(candidates)}")
     truths = [
         c for c in candidates if canonical_column(c.aug_id) in scenario.truth_columns
@@ -36,16 +38,27 @@ def main():
     clusters = cluster_partition(vectors, epsilon=0.1, seed=0)
     print(f"  ε-cover clusters (ε=0.1): {clusters.n_clusters}\n")
 
-    config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
-    results = {"metam": run_metam(candidates, scenario.base, scenario.corpus,
-                                  scenario.task, config)}
-    for name in ("mw", "overlap", "uniform"):
-        results[name] = run_baseline(
-            name, candidates, scenario.base, scenario.corpus, scenario.task,
-            theta=1.0, query_budget=150, seed=0,
+    # Stream METAM's progress live through the event callback.
+    def narrate(event):
+        if event.kind == "augmentation-accepted":
+            print(f"  [event] accepted {canonical_column(event.aug_id)} "
+                  f"→ utility {event.utility:.3f}")
+
+    def request_for(searcher, **overrides):
+        return DiscoveryRequest(
+            base=scenario.base, task=scenario.task, searcher=searcher,
+            theta=1.0, query_budget=150, seed=0, **overrides,
         )
 
-    print("Utility vs number of queries (best so far):")
+    print("METAM run (accepted augmentations as they happen):")
+    config = MetamConfig(theta=1.0, query_budget=150, epsilon=0.1, seed=0)
+    metam_run = engine.discover(request_for("metam", config=config),
+                                progress=narrate)
+    results = {"metam": metam_run.result}
+    for name in ("mw", "overlap", "uniform"):
+        results[name] = engine.discover(request_for(name)).result
+
+    print("\nUtility vs number of queries (best so far):")
     header = "searcher  " + "".join(f"{q:>8}" for q in QUERY_POINTS)
     print(header)
     for name, result in results.items():
@@ -63,6 +76,9 @@ def main():
     print("\nLearned profile importance:")
     for name, weight in sorted(zip(names, weights), key=lambda p: -p[1]):
         print(f"  {name:20s} {weight:.3f}")
+    print(f"\nEngine stats: {engine.stats()['runs_completed']} runs served, "
+          f"{engine.stats()['queries_served']} queries, "
+          f"{engine.stats()['prepared_candidate_sets']} candidate set(s) prepared")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,15 @@
 """Quickstart: goal-oriented data discovery in ~20 lines.
 
 Builds the housing-price scenario (a base table plus an open-data-style
-repository), lets METAM discover utility-raising augmentations, and
-compares against the uniform-sampling baseline.
+repository), opens a DiscoveryEngine over the repository, lets METAM
+discover utility-raising augmentations, and compares against the
+uniform-sampling baseline — both served by the same engine, sharing one
+prepared candidate set.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MetamConfig, prepare_candidates, run_baseline, run_metam
+from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
 from repro.data import housing_scenario
 from repro.tasks.base import canonical_column
 
@@ -18,20 +20,30 @@ def main():
           f"({scenario.base.num_rows} rows, {scenario.base.num_columns} cols)")
     print(f"Repository: {len(scenario.corpus)} tables")
 
-    candidates = prepare_candidates(scenario.base, scenario.corpus, seed=0)
-    print(f"Discovered {len(candidates)} candidate augmentations\n")
-
-    config = MetamConfig(theta=0.85, query_budget=150, epsilon=0.1, seed=0)
-    result = run_metam(candidates, scenario.base, scenario.corpus, scenario.task, config)
-    print(result.summary())
-    for aug_id in result.selected:
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    run = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="metam",
+        seed=0,
+        config=MetamConfig(theta=0.85, query_budget=150, epsilon=0.1, seed=0),
+    ))
+    print(f"Discovered {run.n_candidates} candidate augmentations\n")
+    print(run.result.summary())
+    for aug_id in run.result.selected:
         print(f"  + {canonical_column(aug_id)}  (via {aug_id.split('#')[0]})")
 
-    baseline = run_baseline(
-        "uniform", candidates, scenario.base, scenario.corpus, scenario.task,
-        theta=0.85, query_budget=150, seed=0,
-    )
-    print(f"\nFor comparison — {baseline.summary()}")
+    # Second request, same engine: candidates come from the warm cache.
+    baseline = engine.discover(DiscoveryRequest(
+        base=scenario.base,
+        task=scenario.task,
+        searcher="uniform",
+        theta=0.85,
+        query_budget=150,
+        seed=0,
+    ))
+    assert baseline.candidate_source == "cache"
+    print(f"\nFor comparison — {baseline.result.summary()}")
 
 
 if __name__ == "__main__":

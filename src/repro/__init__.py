@@ -2,25 +2,42 @@
 
 Quickstart::
 
-    from repro import prepare_candidates, run_metam, MetamConfig
+    from repro import DiscoveryEngine, DiscoveryRequest, MetamConfig
     from repro.data import housing_scenario
 
     scenario = housing_scenario(seed=0)
-    candidates = prepare_candidates(scenario.base, scenario.corpus)
-    result = run_metam(candidates, scenario.base, scenario.corpus,
-                       scenario.task, MetamConfig(theta=0.8))
-    print(result.summary())
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    run = engine.discover(DiscoveryRequest(
+        base=scenario.base, task=scenario.task, searcher="metam",
+        config=MetamConfig(theta=0.8)))
+    print(run.result.summary())
+
+The free functions ``prepare_candidates``/``run_metam``/``run_baseline``
+are deprecated shims over the engine (byte-identical results; see
+:mod:`repro.pipeline` for the migration table).
 """
 
+from repro.api import (
+    CancellationToken,
+    CandidateSpec,
+    DiscoveryEngine,
+    DiscoveryRequest,
+    DiscoveryRun,
+)
 from repro.catalog import Catalog, CatalogStore
 from repro.core.config import MetamConfig
 from repro.core.metam import Metam
 from repro.core.result import SearchResult
 from repro.pipeline import prepare_candidates, run_baseline, run_metam
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DiscoveryEngine",
+    "DiscoveryRequest",
+    "DiscoveryRun",
+    "CandidateSpec",
+    "CancellationToken",
     "Catalog",
     "CatalogStore",
     "MetamConfig",

@@ -1,0 +1,53 @@
+"""Session-oriented discovery API: one engine, many requests.
+
+The serving layer of this reproduction: a stateful
+:class:`DiscoveryEngine` that owns the catalog, corpus, and registries,
+and answers declarative :class:`DiscoveryRequest`s with fully recorded
+:class:`DiscoveryRun` handles (final result + typed event stream + JSON
+run record).  See the module docstrings of :mod:`repro.api.engine`,
+:mod:`repro.api.request`, and :mod:`repro.api.registries` for usage.
+"""
+
+from repro.api.engine import DiscoveryEngine, EngineStateError
+from repro.api.events import (
+    AugmentationAccepted,
+    CancellationToken,
+    CandidatesPrepared,
+    QueryIssued,
+    RoundCompleted,
+    RunCancelled,
+    RunCompleted,
+    RunEvent,
+    RunStarted,
+)
+from repro.api.registries import (
+    Registry,
+    RegistryError,
+    default_scenarios,
+    default_searchers,
+    default_tasks,
+)
+from repro.api.request import CandidateSpec, DiscoveryRequest
+from repro.api.run import DiscoveryRun
+
+__all__ = [
+    "DiscoveryEngine",
+    "EngineStateError",
+    "DiscoveryRequest",
+    "CandidateSpec",
+    "DiscoveryRun",
+    "RunEvent",
+    "RunStarted",
+    "CandidatesPrepared",
+    "QueryIssued",
+    "AugmentationAccepted",
+    "RoundCompleted",
+    "RunCompleted",
+    "RunCancelled",
+    "CancellationToken",
+    "Registry",
+    "RegistryError",
+    "default_searchers",
+    "default_tasks",
+    "default_scenarios",
+]

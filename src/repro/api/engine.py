@@ -1,0 +1,500 @@
+"""The :class:`DiscoveryEngine`: a stateful, serving-oriented facade.
+
+One engine owns the expensive shared state of goal-oriented discovery —
+an optional persistent :class:`~repro.catalog.Catalog`, the corpus, the
+warm discovery index, prepared-candidate caches, and the searcher/task/
+scenario registries — and serves many :class:`DiscoveryRequest`s against
+it::
+
+    engine = DiscoveryEngine.open("my_catalog").attach_corpus(corpus)
+    run = engine.discover(DiscoveryRequest(base=din, task=task,
+                                           searcher="metam",
+                                           config=MetamConfig(theta=0.8)))
+    print(run.result.summary())
+
+``discover`` is thread-safe: candidate preparation is lock-scoped (the
+first request pays, concurrent requests for the same spec share the
+result), while each run gets its own searcher, query accounting, and RNG
+— so N callers can serve requests against one warm engine concurrently
+(see ``benchmarks/bench_engine_concurrency.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.events import (
+    AugmentationAccepted,
+    CancellationToken,
+    CandidatesPrepared,
+    QueryIssued,
+    RoundCompleted,
+    RunCancelled,
+    RunCompleted,
+    RunStarted,
+)
+from repro.api.registries import (
+    Registry,
+    default_scenarios,
+    default_searchers,
+    default_tasks,
+)
+from repro.api.request import CandidateSpec, DiscoveryRequest
+from repro.api.run import DiscoveryRun
+from repro.catalog import Catalog
+from repro.catalog.fingerprint import registry_fingerprint, table_fingerprint
+from repro.dataframe.table import Table
+from repro.discovery.candidates import (
+    Candidate,
+    generate_candidates,
+    materialize_candidates,
+    profile_candidates,
+)
+from repro.discovery.index import DiscoveryIndex
+from repro.discovery.unions import find_union_candidates
+from repro.profiles.registry import default_registry
+from repro.tasks.base import Task
+from repro.utils.lru import LruDict
+
+
+class EngineStateError(RuntimeError):
+    """The engine is missing state a call needs (usually a corpus)."""
+
+
+class DiscoveryEngine:
+    """Serves goal-oriented discovery requests over one corpus + catalog.
+
+    Parameters
+    ----------
+    corpus:
+        Repository tables (dict by name, or an iterable of Tables); may
+        also be attached later with :meth:`attach_corpus`.
+    catalog:
+        Optional persistent :class:`~repro.catalog.Catalog` — switches
+        candidate preparation to warm-start mode (incremental refresh +
+        profile-vector cache).
+    profile_registry:
+        Default profile registry for candidate preparation (``None`` =
+        :func:`~repro.profiles.registry.default_registry`).
+    searchers / tasks / scenarios:
+        Registry overrides; defaults carry every built-in.  Mutate them
+        (``engine.searchers.register(...)``) to plug in new strategies
+        without touching core code.
+    max_prepared_sets:
+        Bound on cached prepared-candidate sets (LRU-evicted beyond it;
+        ``None`` disables eviction).  A long-lived serving engine sees
+        many (base, spec, seed) combinations, and each set holds every
+        candidate's materialized values — without a bound the cache
+        grows with the request history instead of the working set.
+    """
+
+    def __init__(
+        self,
+        corpus=None,
+        catalog: Catalog = None,
+        profile_registry=None,
+        searchers: Registry = None,
+        tasks: Registry = None,
+        scenarios: Registry = None,
+        max_prepared_sets: int = 32,
+    ):
+        try:
+            prepared = LruDict(capacity=max_prepared_sets)
+        except ValueError:
+            raise ValueError(
+                f"max_prepared_sets must be >= 1 or None, got {max_prepared_sets}"
+            ) from None
+        self.catalog = catalog
+        self.searchers = searchers if searchers is not None else default_searchers()
+        self.tasks = tasks if tasks is not None else default_tasks()
+        self.scenarios = scenarios if scenarios is not None else default_scenarios()
+        self._profile_registry = profile_registry
+        self._corpus = None
+        self._lock = threading.RLock()
+        self.max_prepared_sets = max_prepared_sets
+        self._prepared = prepared  # prepare key -> candidates (LRU-bounded)
+        self._next_run_id = 1
+        self.runs_started = 0
+        self.runs_completed = 0
+        self.runs_cancelled = 0
+        self.runs_failed = 0
+        self.queries_served = 0
+        if corpus is not None:
+            self.attach_corpus(corpus)
+
+    # ------------------------------------------------------------------
+    # Construction / state
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, catalog_dir, corpus=None, create: bool = True, **config
+    ) -> "DiscoveryEngine":
+        """Engine backed by the persistent catalog at ``catalog_dir``.
+
+        ``create=True`` (default) creates the catalog when none exists
+        (``config`` applies only then); ``create=False`` requires a saved
+        catalog and raises :class:`~repro.catalog.CatalogStoreError`
+        otherwise.  ``corpus`` is attached when given.
+        """
+        if create:
+            catalog = Catalog.open(catalog_dir, **config)
+        else:
+            catalog = Catalog.load(catalog_dir)
+        return cls(corpus=corpus, catalog=catalog)
+
+    def attach_corpus(self, corpus) -> "DiscoveryEngine":
+        """Attach (or replace) the repository; returns ``self``.
+
+        Accepts a ``{name: Table}`` dict or an iterable of Tables.
+        Replacing the corpus drops the prepared-candidate cache — cached
+        candidate sets are only valid for the corpus they were built on.
+        """
+        tables = corpus.values() if isinstance(corpus, dict) else corpus
+        normalized = {}
+        for table in tables:
+            if not isinstance(table, Table):
+                raise TypeError(f"corpus entries must be Tables, got {table!r}")
+            if table.name in normalized and normalized[table.name] is not table:
+                raise ValueError(f"duplicate table name {table.name!r} in corpus")
+            normalized[table.name] = table
+        with self._lock:
+            self._corpus = normalized
+            self._prepared.clear()
+        return self
+
+    @property
+    def corpus(self) -> dict:
+        """The attached repository (raises until :meth:`attach_corpus`)."""
+        if self._corpus is None:
+            raise EngineStateError(
+                "no corpus attached; call engine.attach_corpus(corpus) first"
+            )
+        return self._corpus
+
+    def profile_registry(self):
+        """The engine's default profile registry (built lazily)."""
+        with self._lock:
+            if self._profile_registry is None:
+                self._profile_registry = default_registry()
+            return self._profile_registry
+
+    # ------------------------------------------------------------------
+    # Candidate preparation (lock-scoped, cached)
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        base: Table,
+        spec: CandidateSpec = None,
+        registry=None,
+        seed: int = 0,
+    ) -> list:
+        """Discovery + materialization + profiling for one base table.
+
+        Returns profiled :class:`~repro.discovery.candidates.Candidate`
+        objects — the common input of METAM and every baseline.  Results
+        are cached by (base content, spec, seed, profile registry), so
+        concurrent requests against the same base share one preparation;
+        the whole step runs under the engine lock because it mutates
+        shared state (the catalog's index and profile cache).
+        """
+        candidates, _from_cache, _corpus = self._prepare_cached(
+            base, spec, registry, seed
+        )
+        return candidates
+
+    def _prepare_cached(self, base, spec, registry, seed):
+        """Lock-scoped prepare.
+
+        Returns ``(candidates, from_cache, corpus)`` — the corpus
+        snapshot the candidates were prepared from, taken under the same
+        lock, so callers run their searcher against exactly the tables
+        the candidates reference even if ``attach_corpus`` races.
+        """
+        spec = spec or CandidateSpec()
+        registry = registry if registry is not None else self.profile_registry()
+        key = (
+            table_fingerprint(base),
+            spec,
+            int(seed),
+            registry_fingerprint(registry),
+        )
+        with self._lock:
+            corpus = self.corpus
+            cached = self._prepared.get(key)
+            if cached is not None:
+                return list(cached), True, corpus
+            candidates = self._prepare_locked(base, spec, registry, seed, corpus)
+            self._prepared.put(key, candidates)
+            return list(candidates), False, corpus
+
+    def _prepare_locked(self, base, spec, registry, seed, corpus) -> list:
+        """The discovery front-end (exactly the legacy ``prepare_candidates``
+        semantics, so warm and cold paths stay byte-identical)."""
+        cache = None
+        if self.catalog is not None:
+            catalog = self.catalog
+            overridden = []
+            if catalog.config["min_containment"] != spec.min_containment:
+                overridden.append(
+                    f"min_containment={catalog.config['min_containment']} "
+                    f"(requested {spec.min_containment})"
+                )
+            if catalog.config["seed"] != seed:
+                overridden.append(
+                    f"index seed={catalog.config['seed']} (requested {seed}; "
+                    f"the requested seed still governs profile sampling)"
+                )
+            if overridden:
+                import warnings
+
+                warnings.warn(
+                    "catalog config overrides the requested values for "
+                    "discovery in warm-start mode: " + ", ".join(overridden),
+                    stacklevel=3,
+                )
+            diff = catalog.refresh(corpus)
+            if (
+                catalog.store is not None
+                and (diff.added or diff.updated)
+                and not catalog.removed_since_save
+            ):
+                # Keep the on-disk manifest/snapshot current, so the next
+                # process warm-starts from the packed snapshot.  Only
+                # additive changes are persisted implicitly: a partial
+                # corpus must not silently shrink the saved catalog.
+                catalog.save()
+            index = catalog.index
+            cache = catalog.profile_cache(
+                base, registry, sample_size=spec.sample_size, seed=seed
+            )
+        else:
+            index = DiscoveryIndex(
+                min_containment=spec.min_containment, seed=seed
+            )
+            index.build(corpus.values())
+        augmentations = generate_candidates(
+            base, index, max_hops=spec.max_hops, max_fanout=spec.max_fanout
+        )
+        candidates = materialize_candidates(base, augmentations, corpus)
+        if spec.include_unions:
+            for union in find_union_candidates(
+                base, corpus, min_shared=spec.min_union_shared
+            ):
+                candidates.append(
+                    Candidate(
+                        aug=union,
+                        values=union.materialize(base, corpus),
+                        overlap=union.shared_fraction,
+                    )
+                )
+        return profile_candidates(
+            candidates,
+            base,
+            corpus,
+            registry,
+            sample_size=spec.sample_size,
+            seed=seed,
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        request: DiscoveryRequest,
+        progress=None,
+        cancel: CancellationToken = None,
+    ) -> DiscoveryRun:
+        """Serve one request; returns the completed :class:`DiscoveryRun`.
+
+        ``progress`` (a callable taking one
+        :class:`~repro.api.events.RunEvent`) streams every event as it
+        happens; ``cancel`` stops the run cooperatively at its next
+        utility query (the run then finishes with status
+        ``"cancelled"`` and ``result=None``).
+        """
+        task = self._resolve_task(request)
+        factory = self.searchers.get(request.searcher)  # fail before any work
+        self.corpus  # fail fast when none is attached
+        with self._lock:
+            run_id = self._next_run_id
+            self._next_run_id += 1
+            self.runs_started += 1
+        try:
+            return self._serve(request, task, factory, run_id, progress, cancel)
+        except BaseException:
+            # Anything that escapes (bad searcher options, a task that
+            # raises, a progress callback bug) still balances the books.
+            with self._lock:
+                self.runs_failed += 1
+            raise
+
+    def _serve(self, request, task, factory, run_id, progress, cancel):
+        events = []
+
+        def emit(event):
+            events.append(event)
+            if progress is not None:
+                progress(event)
+
+        emit(
+            RunStarted(
+                run_id=run_id,
+                searcher=request.searcher,
+                base_table=request.base.name,
+                task=request.task_name(),
+            )
+        )
+
+        # The corpus snapshot travels with the candidates: prepared runs
+        # use the snapshot taken under the prepare lock, so a concurrent
+        # attach_corpus() can never pair one corpus's candidates with
+        # another corpus's tables.
+        start = time.perf_counter()
+        if request.candidates is not None:
+            candidates = list(request.candidates)
+            source = "request"
+            with self._lock:
+                corpus = self.corpus
+        else:
+            prepare_seed = (
+                request.seed
+                if request.prepare_seed is None
+                else request.prepare_seed
+            )
+            candidates, from_cache, corpus = self._prepare_cached(
+                request.base, request.spec, request.registry, prepare_seed
+            )
+            source = "cache" if from_cache else "prepared"
+        prepare_seconds = time.perf_counter() - start
+        emit(
+            CandidatesPrepared(
+                n_candidates=len(candidates),
+                source=source,
+                seconds=prepare_seconds,
+            )
+        )
+
+        searcher = factory(
+            candidates,
+            request.base,
+            corpus,
+            task,
+            theta=request.theta,
+            query_budget=request.query_budget,
+            seed=request.seed,
+            config=request.config,
+            **request.options,
+        )
+        self._attach_hooks(searcher, emit, cancel)
+
+        start = time.perf_counter()
+        status = "completed"
+        result = None
+        try:
+            result = searcher.run()
+        except RunCancelled:
+            status = "cancelled"
+        search_seconds = time.perf_counter() - start
+
+        query_engine = getattr(searcher, "engine", None)
+        queries = query_engine.queries if query_engine is not None else 0
+        emit(
+            RunCompleted(
+                status=status,
+                utility=result.utility if result is not None else 0.0,
+                queries=result.queries if result is not None else queries,
+                seconds=search_seconds,
+            )
+        )
+        with self._lock:
+            self.queries_served += queries
+            if status == "completed":
+                self.runs_completed += 1
+            else:
+                self.runs_cancelled += 1
+        return DiscoveryRun(
+            run_id=run_id,
+            request=request,
+            status=status,
+            result=result,
+            events=events,
+            n_candidates=len(candidates),
+            candidate_source=source,
+            prepare_seconds=prepare_seconds,
+            search_seconds=search_seconds,
+        )
+
+    def _resolve_task(self, request: DiscoveryRequest) -> Task:
+        if isinstance(request.task, str):
+            return self.tasks.create(request.task, **request.task_options)
+        if request.task_options:
+            raise ValueError(
+                "task_options only apply when the task is given by name"
+            )
+        return request.task
+
+    @staticmethod
+    def _attach_hooks(searcher, emit, cancel: CancellationToken) -> None:
+        """Wire the run's event stream into the searcher's query engine."""
+        query_engine = getattr(searcher, "engine", None)
+        if query_engine is not None:
+            if cancel is not None:
+                query_engine.pre_query = cancel.raise_if_cancelled
+            query_engine.on_query = lambda index, value, best: emit(
+                QueryIssued(query_index=index, utility=value, best_utility=best)
+            )
+            query_engine.on_accept = lambda aug_id, utility, n_selected: emit(
+                AugmentationAccepted(
+                    aug_id=aug_id, utility=utility, n_selected=n_selected
+                )
+            )
+        if hasattr(searcher, "on_round"):
+            searcher.on_round = lambda index, utility, queries, committed: emit(
+                RoundCompleted(
+                    round_index=index,
+                    utility=utility,
+                    queries=queries,
+                    committed=committed,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def corpus_stats(self, batch_tables: int = 256, seed: int = 0) -> dict:
+        """Table-I corpus characteristics.
+
+        Served from the catalog's disk artifacts when one is attached
+        (``batch_tables`` bounds resident entries during the joinable
+        pass; the stored config's seed applies); otherwise computed from
+        the live corpus with a transient index seeded by ``seed``.
+        """
+        if self.catalog is not None and self.catalog.store is not None:
+            return self.catalog.corpus_stats(batch_tables=batch_tables)
+        from repro.data import corpus_characteristics
+
+        corpus = list(self.corpus.values())
+        index = DiscoveryIndex(min_containment=0.3, seed=seed).build(corpus)
+        return corpus_characteristics(corpus, index)
+
+    def stats(self) -> dict:
+        """Engine-level serving statistics."""
+        with self._lock:
+            out = {
+                "runs_started": self.runs_started,
+                "runs_completed": self.runs_completed,
+                "runs_cancelled": self.runs_cancelled,
+                "runs_failed": self.runs_failed,
+                "queries_served": self.queries_served,
+                "prepared_candidate_sets": len(self._prepared),
+                "corpus_tables": len(self._corpus) if self._corpus else 0,
+                "searchers": self.searchers.names(),
+            }
+            # Read under the same lock that guards prepare(): a catalog
+            # mid-refresh must not leak a half-applied view into stats.
+            if self.catalog is not None:
+                out["catalog"] = self.catalog.stats()
+        return out

@@ -1,0 +1,235 @@
+"""Pluggable registries: searchers, tasks, and scenarios by name.
+
+The engine never hard-codes a strategy list.  Searchers, tasks, and
+evaluation scenarios live in :class:`Registry` instances with
+entry-point-style registration, so a new baseline or workload plugs in
+without touching core code::
+
+    engine = DiscoveryEngine(corpus=corpus)
+
+    @engine.searchers.register("my_ranker")
+    def build(candidates, base, corpus, task, *, theta, query_budget,
+              seed, config=None, **options):
+        return MyRanker(candidates, base, corpus, task, theta=theta,
+                        query_budget=query_budget, seed=seed, **options)
+
+    engine.discover(DiscoveryRequest(base=b, task=t, searcher="my_ranker"))
+
+Searcher factories receive ``(candidates, base, corpus, task)`` plus the
+request's keyword knobs and must return an object with ``run() ->
+SearchResult`` and an ``engine`` attribute holding the
+:class:`~repro.core.querying.QueryEngine` it spends queries through
+(that is where the event hooks attach).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.arda import IArdaSearcher
+from repro.baselines.join_everything import JoinEverythingSearcher
+from repro.baselines.mw import MultiplicativeWeightsSearcher
+from repro.baselines.overlap_ranking import OverlapSearcher
+from repro.baselines.uniform import UniformSearcher
+from repro.baselines.variants import VARIANT_NAMES, metam_variant
+from repro.core.config import MetamConfig
+
+
+class RegistryError(LookupError):
+    """Unknown name, or a name collision without ``overwrite=True``."""
+
+
+class Registry:
+    """A name → factory map with decorator-style registration."""
+
+    def __init__(self, kind: str, entries: dict = None):
+        self.kind = kind
+        self._entries = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> list:
+        return sorted(self._entries)
+
+    def register(self, name: str, factory=None, overwrite: bool = False):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", build_x)``) or as a
+        decorator (``@registry.register("x")``).  Re-registering an
+        existing name raises unless ``overwrite=True`` — silent
+        replacement of a built-in is how plug-in bugs hide.
+        """
+        if factory is None:
+            return lambda f: self.register(name, f, overwrite=overwrite)
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
+        self._entries[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        if name not in self._entries:
+            raise RegistryError(f"no {self.kind} named {name!r} to unregister")
+        del self._entries[name]
+
+    def get(self, name: str):
+        """The factory for ``name``; unknown names fail with the choices."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; choose from {self.names()}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Look up ``name`` and call its factory."""
+        return self.get(name)(*args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Built-in searchers
+# ---------------------------------------------------------------------------
+def _metam_factory(variant: str):
+    def build(
+        candidates,
+        base,
+        corpus,
+        task,
+        *,
+        theta: float = 1.0,
+        query_budget: int = 1000,
+        seed: int = 0,
+        config: MetamConfig = None,
+        **options,
+    ):
+        if config is None:
+            config = MetamConfig(
+                theta=theta, query_budget=query_budget, seed=seed, **options
+            )
+        elif options:
+            # A full config and loose knobs together is ambiguous — the
+            # knobs would be silently ignored in favor of the config.
+            raise ValueError(
+                f"searcher options {sorted(options)} conflict with an "
+                "explicit MetamConfig; set them on the config instead"
+            )
+        return metam_variant(variant, candidates, base, corpus, task, config)
+
+    build.__name__ = f"build_{variant}"
+    return build
+
+
+def _ranking_factory(searcher_class):
+    def build(
+        candidates,
+        base,
+        corpus,
+        task,
+        *,
+        theta: float = 1.0,
+        query_budget: int = 1000,
+        seed: int = 0,
+        config: MetamConfig = None,
+        **options,
+    ):
+        if config is not None:
+            raise ValueError(
+                f"{searcher_class.__name__} takes no MetamConfig; pass "
+                "theta/query_budget/seed directly"
+            )
+        return searcher_class(
+            candidates,
+            base,
+            corpus,
+            task,
+            theta=theta,
+            query_budget=query_budget,
+            seed=seed,
+            **options,
+        )
+
+    build.__name__ = f"build_{searcher_class.__name__}"
+    return build
+
+
+def default_searchers() -> Registry:
+    """All built-in searchers: METAM, its ablations, and the baselines."""
+    registry = Registry("searcher")
+    for variant in VARIANT_NAMES:  # metam, eq, nc, nceq
+        registry.register(variant, _metam_factory(variant))
+    for name, cls in (
+        ("mw", MultiplicativeWeightsSearcher),
+        ("overlap", OverlapSearcher),
+        ("uniform", UniformSearcher),
+        ("iarda", IArdaSearcher),
+        ("join_everything", JoinEverythingSearcher),
+    ):
+        registry.register(name, _ranking_factory(cls))
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Built-in tasks and scenarios (imported lazily: the task/scenario layers
+# pull in the ml/ and data/ packages, which engine users may never need)
+# ---------------------------------------------------------------------------
+def default_tasks() -> Registry:
+    """Built-in downstream tasks, constructible by name."""
+    from repro.tasks import (
+        AutoMLTask,
+        ClassificationTask,
+        ClusteringTask,
+        EntityLinkingTask,
+        FairClassificationTask,
+        HowToTask,
+        RegressionTask,
+        WhatIfTask,
+    )
+
+    registry = Registry("task")
+    for name, cls in (
+        ("classification", ClassificationTask),
+        ("regression", RegressionTask),
+        ("automl", AutoMLTask),
+        ("clustering", ClusteringTask),
+        ("entity_linking", EntityLinkingTask),
+        ("fairness", FairClassificationTask),
+        ("whatif", WhatIfTask),
+        ("howto", HowToTask),
+    ):
+        registry.register(name, cls)
+    return registry
+
+
+def default_scenarios() -> Registry:
+    """Built-in evaluation scenarios (the CLI's ``run`` choices)."""
+    from repro.data import (
+        clustering_scenario,
+        collisions_scenario,
+        entity_linking_scenario,
+        fairness_scenario,
+        housing_scenario,
+        sat_howto_scenario,
+        sat_whatif_scenario,
+        schools_scenario,
+    )
+
+    registry = Registry("scenario")
+    for name, factory in (
+        ("housing", housing_scenario),
+        ("schools", schools_scenario),
+        ("collisions", collisions_scenario),
+        ("sat-whatif", sat_whatif_scenario),
+        ("sat-howto", sat_howto_scenario),
+        ("entity-linking", entity_linking_scenario),
+        ("fairness", fairness_scenario),
+        ("clustering", clustering_scenario),
+    ):
+        registry.register(name, factory)
+    return registry

@@ -1,0 +1,103 @@
+"""The :class:`DiscoveryRun` handle: one served request, fully recorded.
+
+A run bundles the final :class:`~repro.core.result.SearchResult` with the
+typed event stream that produced it and the timings of each phase, and
+serializes the whole thing to a JSON-safe record for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.api.request import DiscoveryRequest
+from repro.core.result import SearchResult
+from repro.core.serialization import result_to_dict
+
+
+@dataclass
+class DiscoveryRun:
+    """Outcome of one :meth:`DiscoveryEngine.discover` call.
+
+    Attributes
+    ----------
+    run_id:
+        Engine-scoped sequential id (unique per engine instance).
+    request:
+        The request this run served.
+    status:
+        ``"completed"`` or ``"cancelled"``.
+    result:
+        The search result; ``None`` when the run was cancelled before a
+        result existed.
+    events:
+        Ordered :class:`~repro.api.events.RunEvent` stream.
+    n_candidates / candidate_source:
+        Size and provenance (``prepared``/``cache``/``request``) of the
+        candidate set the searcher saw.
+    prepare_seconds / search_seconds:
+        Wall-clock of the two phases.
+    """
+
+    run_id: int
+    request: DiscoveryRequest
+    status: str
+    result: SearchResult = None
+    events: list = field(default_factory=list)
+    n_candidates: int = 0
+    candidate_source: str = "prepared"
+    prepare_seconds: float = 0.0
+    search_seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def cancelled(self) -> bool:
+        return self.status == "cancelled"
+
+    @property
+    def selected(self) -> list:
+        """Selected augmentation ids (empty when no result exists)."""
+        return list(self.result.selected) if self.result is not None else []
+
+    @property
+    def utility(self) -> float:
+        return self.result.utility if self.result is not None else 0.0
+
+    @property
+    def queries(self) -> int:
+        return self.result.queries if self.result is not None else 0
+
+    def events_of(self, kind: str) -> list:
+        """Events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self) -> str:
+        if self.result is not None:
+            return f"run {self.run_id} [{self.status}] {self.result.summary()}"
+        return f"run {self.run_id} [{self.status}] no result"
+
+    def to_record(self) -> dict:
+        """JSON-serializable record of the full run."""
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "request": self.request.to_record(),
+            "result": (
+                result_to_dict(self.result) if self.result is not None else None
+            ),
+            "n_candidates": self.n_candidates,
+            "candidate_source": self.candidate_source,
+            "timings": {
+                "prepare_seconds": self.prepare_seconds,
+                "search_seconds": self.search_seconds,
+            },
+            "events": [event.to_record() for event in self.events],
+        }
+
+    def save(self, path: str) -> None:
+        """Write the run record as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_record(), handle, indent=2)

@@ -24,12 +24,14 @@ from repro.catalog.fingerprint import (
     config_fingerprint,
     profile_key,
     registry_fingerprint,
+    shard_of,
     table_fingerprint,
 )
 from repro.catalog.store import CatalogStore, CatalogStoreError
 from repro.dataframe.table import Table
 from repro.discovery.index import ColumnRef, DiscoveryIndex
 from repro.discovery.lsh import LshIndex
+from repro.utils.lru import LruDict
 
 
 @dataclass
@@ -552,21 +554,85 @@ class Catalog:
             return (0, 0)
         return self.store.evict_profiles(budget_bytes)
 
-    def corpus_stats(self, size_sample: int = 1000) -> dict:
+    def _stats_batches(self, names, combined, batch_tables):
+        """Table names grouped for the streaming stats passes.
+
+        ``batch_tables=None`` keeps the legacy shape (one batch holding
+        everything); otherwise names are grouped by the on-disk shard of
+        their object (so each batch reads one directory) and chunked to
+        at most ``batch_tables`` tables.
+        """
+        if batch_tables is None:
+            return [list(names)]
+        if batch_tables < 1:
+            raise ValueError(f"batch_tables must be >= 1, got {batch_tables}")
+        by_shard = {}
+        for name in names:
+            shard = shard_of(self._object_id(combined[name]))
+            by_shard.setdefault(shard, []).append(name)
+        batches = []
+        for shard in sorted(by_shard):
+            group = by_shard[shard]
+            for start in range(0, len(group), batch_tables):
+                batches.append(group[start : start + batch_tables])
+        return batches
+
+    def _stats_entries(self, name, fingerprint, size_sample, unsized=None):
+        """Entries (+ recorded size) of one table for a stats pass.
+
+        Reads the persisted object; a missing or corrupt object heals by
+        recomputation when a live table is attached and raises otherwise.
+        ``unsized`` (a list, or ``None`` when sizes are not being
+        collected) accumulates tables whose objects predate size
+        recording.
+        """
+        object_id = self._object_id(fingerprint)
+        live = self._index.get_table(name) if name in self._fingerprints else None
+        try:
+            meta, entries = self.store.read_object(object_id)
+            size = meta.get("size_bytes")
+            if size is None:
+                # Object written before sizes were recorded (a
+                # pre-layout-v2 store): estimate live if possible,
+                # otherwise count the table as unsized and warn in the
+                # caller — never silently under-report.
+                if live is not None:
+                    size = live.estimated_byte_size(size_sample)
+                else:
+                    size = 0
+                    if unsized is not None:
+                        unsized.append(name)
+        except (KeyError, CatalogStoreError):
+            if live is None:
+                raise CatalogStoreError(
+                    f"corpus stats need catalog object {object_id!r} for "
+                    f"table {name!r}, which is missing or corrupt, and no "
+                    "live table is attached to recompute it"
+                ) from None
+            entries = self._compute_and_persist(live, object_id)
+            size = live.estimated_byte_size(size_sample)
+        return entries, size
+
+    def corpus_stats(
+        self, size_sample: int = 1000, batch_tables: int = 256
+    ) -> dict:
         """Table-I corpus characteristics served from disk artifacts.
 
         Runs entirely against the store — persisted object metadata for
         table/column/size counts, stored signatures + normalized value
         sets for the joinable count — so no raw corpus is loaded and no
-        column is ever re-signed.  A transient LSH index over the stored
-        signatures (plus every table's decoded value sets) is held in
-        memory for the joinable pass, so peak memory scales with the
-        catalog's artifacts; batching that pass for ≫10⁴-table catalogs
-        is a noted follow-up.  Tables
-        live in this process fall back to their in-memory artifacts; a
-        missing or corrupt object heals by recomputation when its live
-        table is attached and raises :class:`CatalogStoreError` otherwise
-        (never a silently wrong report).
+        column is ever re-signed.  The joinable pass streams: entries are
+        read in per-shard batches of at most ``batch_tables`` tables,
+        with a same-sized LRU of decoded objects for cross-batch
+        containment checks, so peak memory is bounded by the batch size
+        instead of the catalog size (only the compact LSH signature
+        index spans the whole catalog).  ``batch_tables=None`` restores
+        the previous hold-everything behavior; both paths return
+        identical reports.  Tables live in this process fall back to
+        their in-memory artifacts; a missing or corrupt object heals by
+        recomputation when its live table is attached and raises
+        :class:`CatalogStoreError` otherwise (never a silently wrong
+        report).
 
         Sizes of purely-persisted tables were estimated at signing time
         (with the default sample); ``size_sample`` only governs live
@@ -581,43 +647,39 @@ class Catalog:
         config = self.config
         lsh = LshIndex(num_perm=config["num_perm"], bands=config["bands"])
         threshold = config["min_containment"]
-        entries_by_table = {}
+        batches = self._stats_batches(sorted(combined), combined, batch_tables)
+        keep_resident = batch_tables is None
+        resident = {}
+        # The pass-2 entry cache is seeded during pass 1, so a catalog
+        # that fits one batch is decoded exactly once (matching the old
+        # hold-everything pass), and larger catalogs start pass 2 with
+        # the tail batch warm.
+        cache = LruDict(capacity=batch_tables or 1)
         n_columns = 0
         size_bytes = 0
         unsized = []
-        for name in sorted(combined):
-            object_id = self._object_id(combined[name])
-            live = self._index.get_table(name) if name in self._fingerprints else None
-            try:
-                meta, entries = self.store.read_object(object_id)
-                size = meta.get("size_bytes")
-                if size is None:
-                    # Object written before sizes were recorded (a
-                    # pre-layout-v2 store): estimate live if possible,
-                    # otherwise count the table as unsized and warn
-                    # below — never silently under-report.
-                    if live is not None:
-                        size = live.estimated_byte_size(size_sample)
-                    else:
-                        size = 0
-                        unsized.append(name)
-            except (KeyError, CatalogStoreError):
-                if live is None:
-                    raise CatalogStoreError(
-                        f"corpus stats need catalog object {object_id!r} for "
-                        f"table {name!r}, which is missing or corrupt, and no "
-                        "live table is attached to recompute it"
-                    ) from None
-                entries = self._compute_and_persist(live, object_id)
-                size = live.estimated_byte_size(size_sample)
-            entries_by_table[name] = entries
-            n_columns += len(entries)
-            size_bytes += int(size)
-            refs = [ColumnRef(name, column) for column in entries]
-            if refs:
-                lsh.insert_many(
-                    refs, np.stack([entries[ref.column].signature for ref in refs])
+        # Pass 1 — metadata and LSH signatures, one batch resident at a
+        # time (signatures are compact; the bulky value sets are dropped
+        # with each batch unless the legacy hold-everything mode is on).
+        for batch in batches:
+            for name in batch:
+                entries, size = self._stats_entries(
+                    name, combined[name], size_sample, unsized
                 )
+                if keep_resident:
+                    resident[name] = entries
+                else:
+                    cache.put(name, entries)
+                n_columns += len(entries)
+                size_bytes += int(size)
+                refs = [ColumnRef(name, column) for column in entries]
+                if refs:
+                    lsh.insert_many(
+                        refs,
+                        np.stack(
+                            [entries[ref.column].signature for ref in refs]
+                        ),
+                    )
         if unsized:
             import warnings
 
@@ -628,22 +690,48 @@ class Catalog:
                 "sizes",
                 stacklevel=2,
             )
+        # Pass 2 — joinable verification.  Membership is order-
+        # independent (a column counts iff *some* query column verifies
+        # it), so streaming batch order yields the same set as the
+        # hold-everything pass.  All reads go through one LRU, so a
+        # table decoded as a cross-batch candidate is not re-decoded
+        # when its own batch arrives (and vice versa); peak memory stays
+        # bounded by the batch plus the same-sized cache.
+        def load_entries(name):
+            if keep_resident:
+                return resident[name]
+            entries = cache.get(name)
+            if entries is None:
+                entries = self._stats_entries(
+                    name, combined[name], size_sample
+                )[0]
+                cache.put(name, entries)
+            return entries
+
         joinable = set()
-        for name, entries in entries_by_table.items():
-            for entry in entries.values():
-                query = entry.normalized
-                if not query:
-                    continue
-                for ref in lsh.query(entry.signature):
-                    # Once a candidate column is counted it stays counted,
-                    # so skip re-verifying it for later query columns —
-                    # this keeps the verification volume near-linear on
-                    # join-dense corpora.
-                    if ref.table == name or ref in joinable:
+        for batch in batches:
+            batch_entries = {name: load_entries(name) for name in batch}
+            for name in batch:
+                for entry in batch_entries[name].values():
+                    query = entry.normalized
+                    if not query:
                         continue
-                    candidate = entries_by_table[ref.table][ref.column]
-                    if len(query & candidate.normalized) / len(query) >= threshold:
-                        joinable.add(ref)
+                    for ref in lsh.query(entry.signature):
+                        # Once a candidate column is counted it stays
+                        # counted, so skip re-verifying it for later query
+                        # columns — this keeps the verification volume
+                        # near-linear on join-dense corpora.
+                        if ref.table == name or ref in joinable:
+                            continue
+                        if ref.table in batch_entries:
+                            candidate = batch_entries[ref.table][ref.column]
+                        else:
+                            candidate = load_entries(ref.table)[ref.column]
+                        containment = len(query & candidate.normalized) / len(
+                            query
+                        )
+                        if containment >= threshold:
+                            joinable.add(ref)
         return {
             "tables": len(combined),
             "columns": n_columns,

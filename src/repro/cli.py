@@ -27,31 +27,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import DiscoveryEngine, default_scenarios
 from repro.core.config import MetamConfig
 from repro.core.plotting import render_traces
-from repro.core.runner import compare_searchers
+from repro.core.runner import compare_searchers, validate_comparison
 from repro.core.serialization import save_results
-from repro.data import (
-    clustering_scenario,
-    collisions_scenario,
-    entity_linking_scenario,
-    fairness_scenario,
-    housing_scenario,
-    sat_howto_scenario,
-    sat_whatif_scenario,
-    schools_scenario,
-)
 
+_SCENARIO_REGISTRY = default_scenarios()
+
+#: name -> scenario factory: an import-time snapshot of the built-in
+#: scenario registry (kept as a plain dict for backward compatibility).
+#: To serve a custom scenario, register it on an engine's ``scenarios``
+#: registry and drive discovery through the library API; the CLI's
+#: choices are fixed at import.
 SCENARIOS = {
-    "housing": housing_scenario,
-    "schools": schools_scenario,
-    "collisions": collisions_scenario,
-    "sat-whatif": sat_whatif_scenario,
-    "sat-howto": sat_howto_scenario,
-    "entity-linking": entity_linking_scenario,
-    "fairness": fairness_scenario,
-    "clustering": clustering_scenario,
+    name: _SCENARIO_REGISTRY.get(name) for name in _SCENARIO_REGISTRY.names()
 }
+
+
+def _error(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,7 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--baselines",
         default="mw,overlap,uniform",
-        help="comma-separated baselines (mw,overlap,uniform) or 'none'",
+        help="comma-separated baselines to run next to METAM — any "
+        "registered searcher except metam itself (built-ins: mw, "
+        "overlap, uniform, join_everything, and the ablations eq, nc, "
+        "nceq; iarda needs a target column and is library-API only) — "
+        "or 'none'",
     )
     run.add_argument("--save", default=None, help="write results JSON here")
     run.add_argument("--no-chart", action="store_true", help="skip ASCII chart")
@@ -89,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(no corpus generation or column re-signing — a transient LSH "
         "is rebuilt from stored signatures; the corpus flags are "
         "ignored)",
+    )
+    stats.add_argument(
+        "--batch-tables",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tables resident per batch during the catalog-backed "
+        "joinable pass (bounds peak memory; default 256; 0 = hold "
+        "everything in memory, the pre-streaming behavior; only "
+        "meaningful with --catalog)",
     )
 
     catalog = sub.add_parser("catalog", help="persistent discovery catalog")
@@ -161,6 +170,23 @@ def _cmd_run(args) -> int:
     query_points = tuple(
         sorted({max(1, args.budget // 10), args.budget // 4, args.budget // 2, args.budget})
     )
+    # One engine serves every searcher of the run: all of them share the
+    # prepared candidate set (and a warm catalog, if one is ever wired in).
+    engine = DiscoveryEngine(corpus=scenario.corpus)
+    if "iarda" in baselines:
+        _error(
+            "the 'iarda' baseline needs a target column and is not "
+            "available from the CLI; use the library API "
+            "(DiscoveryRequest with options={'target_column': ...})"
+        )
+        return 2
+    try:
+        # Validated separately so bad flags fail fast with a clean usage
+        # error, while genuine runtime failures keep their traceback.
+        validate_comparison(engine, baselines)
+    except ValueError as error:
+        _error(str(error))
+        return 2
     report = compare_searchers(
         scenario,
         budget=args.budget,
@@ -175,6 +201,7 @@ def _cmd_run(args) -> int:
             epsilon=args.epsilon,
             seed=args.seed,
         ),
+        engine=engine,
     )
     print(f"Scenario: {scenario.name} "
           f"({scenario.base.num_rows} rows, {len(scenario.corpus)} repo tables)\n")
@@ -192,22 +219,36 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_corpus_stats(args) -> int:
-    from repro.data import corpus_characteristics, generate_corpus
+    from repro.catalog import CatalogStoreError
+    from repro.data import generate_corpus
 
-    if args.catalog is not None:
-        from repro.catalog import Catalog, CatalogStoreError
-
-        try:
-            stats = Catalog.load(args.catalog).corpus_stats()
-        except CatalogStoreError as error:
-            print(f"error: {error}")
-            return 1
-    else:
-        from repro.discovery import DiscoveryIndex
-
-        corpus = generate_corpus(args.tables, style=args.style, seed=args.seed)
-        index = DiscoveryIndex(min_containment=0.3, seed=args.seed).build(corpus)
-        stats = corpus_characteristics(corpus, index)
+    if args.batch_tables is not None and args.batch_tables < 0:
+        _error(
+            f"--batch-tables must be >= 0 (0 = hold everything in "
+            f"memory), got {args.batch_tables}"
+        )
+        return 2
+    if args.batch_tables is not None and args.catalog is None:
+        # The in-memory path has no streaming pass; a silent no-op would
+        # read as "memory is bounded" when it is not.
+        print(
+            "warning: --batch-tables only applies with --catalog; ignored",
+            file=sys.stderr,
+        )
+    batch_tables = args.batch_tables if args.batch_tables is not None else 256
+    batch = batch_tables if batch_tables > 0 else None
+    try:
+        if args.catalog is not None:
+            engine = DiscoveryEngine.open(args.catalog, create=False)
+        else:
+            corpus = generate_corpus(
+                args.tables, style=args.style, seed=args.seed
+            )
+            engine = DiscoveryEngine(corpus=corpus)
+        stats = engine.corpus_stats(batch_tables=batch, seed=args.seed)
+    except CatalogStoreError as error:
+        _error(str(error))
+        return 1
     print(f"{'#Tables':>10} {'#Columns':>10} {'#Joinable':>10} {'Size':>12}")
     print(
         f"{stats['tables']:10d} {stats['columns']:10d} "
@@ -222,7 +263,7 @@ def _cmd_catalog(args) -> int:
     try:
         return _run_catalog_command(args)
     except CatalogStoreError as error:
-        print(f"error: {error}")
+        _error(str(error))
         return 1
 
 
@@ -235,7 +276,7 @@ def _run_catalog_command(args) -> int:
     if args.catalog_command == "stats":
         store = CatalogStore(args.dir)
         if not store.exists():
-            print(f"no catalog at {args.dir}")
+            _error(f"no catalog at {args.dir}")
             return 1
         stats = store.stats()
         print(f"catalog at {args.dir} (layout v{stats['version']})")
@@ -288,16 +329,16 @@ def _run_catalog_command(args) -> int:
                 "seed": args.seed,
             }
             if not stored:
-                print(
-                    f"error: catalog at {args.dir!r} exists but has no "
+                _error(
+                    f"catalog at {args.dir!r} exists but has no "
                     "recorded corpus parameters (was it built outside the "
                     "CLI?); refusing to replace its tables — use 'catalog "
                     "update' with explicit flags"
                 )
                 return 1
             if stored != requested:
-                print(
-                    f"error: catalog at {args.dir!r} was built from corpus "
+                _error(
+                    f"catalog at {args.dir!r} was built from corpus "
                     f"{stored}, which differs from the requested {requested}; "
                     "use 'catalog update' with explicit flags to change the "
                     "corpus"
@@ -320,7 +361,7 @@ def _run_catalog_command(args) -> int:
                 # Invalid index parameters (e.g. --num-perm not divisible
                 # by --bands); only construction gets this treatment so
                 # unrelated internal ValueErrors still surface loudly.
-                print(f"error: {error}")
+                _error(str(error))
                 return 1
         for warning in caught:
             print(f"warning: {warning.message}")

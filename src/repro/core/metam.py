@@ -38,7 +38,13 @@ class Metam:
         The input dataset, the repository, and the downstream task.
     config:
         Search knobs; see :class:`~repro.core.config.MetamConfig`.
+
+    ``on_round`` (optional observer, default ``None``) is called after
+    each outer-loop round with ``(round_index, utility, queries,
+    committed)`` — the serving API's round-complete event.
     """
+
+    on_round = None
 
     def __init__(
         self,
@@ -105,6 +111,7 @@ class Metam:
                     clusters, scorer, base_utility, rng, config
                 )
 
+            rounds = 0
             while state.utility < config.theta and (
                 search["best_group"] is None
                 or search["best_group"][1] < config.theta
@@ -112,6 +119,11 @@ class Metam:
                 committed = self._run_round(
                     state, scorer, clusters, bandit, base_utility, search
                 )
+                rounds += 1
+                if self.on_round is not None:
+                    self.on_round(
+                        rounds, state.utility, self.engine.queries, committed
+                    )
                 if not committed:
                     break  # no candidate improves utility any more
         except QueryBudgetExhausted:

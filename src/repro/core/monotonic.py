@@ -39,6 +39,7 @@ class MonotoneState:
         if value > self.utility:
             self.selected.append(aug_id)
             self.utility = value
+            self._notify(aug_id, value)
             return True, value
         self.rejections += 1
         return False, value
@@ -52,3 +53,9 @@ class MonotoneState:
             )
         self.selected.append(aug_id)
         self.utility = utility
+        self._notify(aug_id, utility)
+
+    def _notify(self, aug_id: str, utility: float) -> None:
+        """Surface the acceptance to the query engine's observer hook."""
+        if self.engine.on_accept is not None:
+            self.engine.on_accept(aug_id, utility, len(self.selected))

@@ -32,7 +32,27 @@ class QueryEngine:
     budget:
         Optional hard query cap; exceeding it raises
         :class:`QueryBudgetExhausted`.
+
+    Hooks
+    -----
+    Observers (the serving API's event stream) may set three optional
+    callables on an instance; all default to ``None`` and, when unset,
+    the engine behaves exactly as before:
+
+    ``pre_query()``
+        Called at every :meth:`utility` entry (cache hits included) —
+        the cooperative-cancellation point; any exception it raises
+        aborts the search.
+    ``on_query(query_index, value, best_so_far)``
+        Called after each *charged* query, mirroring the trace.
+    ``on_accept(aug_id, utility, n_selected)``
+        Called by :class:`~repro.core.monotonic.MonotoneState` whenever
+        the certified solution grows.
     """
+
+    pre_query = None
+    on_query = None
+    on_accept = None
 
     def __init__(self, task, base: Table, corpus: dict, candidates, budget=None):
         self.task = task
@@ -70,6 +90,8 @@ class QueryEngine:
 
     def utility(self, aug_ids=()) -> float:
         """Utility of ``Din`` augmented with ``aug_ids`` (cached)."""
+        if self.pre_query is not None:
+            self.pre_query()
         key = frozenset(aug_ids)
         if key in self._cache:
             return self._cache[key]
@@ -82,6 +104,8 @@ class QueryEngine:
         self._cache[key] = value
         self._best = max(self._best, value)
         self.trace.append((self.queries, self._best))
+        if self.on_query is not None:
+            self.on_query(self.queries, value, self._best)
         return value
 
     def cached_utility(self, aug_ids):

@@ -3,37 +3,36 @@
 The benchmark files and the CLI both need the same loop — run METAM and a
 set of baselines over one scenario for several seeds, average the
 utility-vs-queries curves, and summarize — so it lives here with tests.
+Everything runs through one :class:`~repro.api.DiscoveryEngine`, so all
+searchers of a seed share the prepared candidate set (and a warm catalog,
+when the engine carries one).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.baselines.arda import IArdaSearcher
-from repro.baselines.mw import MultiplicativeWeightsSearcher
-from repro.baselines.overlap_ranking import OverlapSearcher
-from repro.baselines.uniform import UniformSearcher
 from repro.core.config import MetamConfig
-from repro.core.metam import Metam
-from repro.pipeline import prepare_candidates
+from repro.core.result import SearchResult
 
-_BASELINES = {
-    "mw": MultiplicativeWeightsSearcher,
-    "overlap": OverlapSearcher,
-    "uniform": UniformSearcher,
-}
+if TYPE_CHECKING:  # runtime import is lazy: api sits above core
+    from repro.api.engine import DiscoveryEngine
 
 
 @dataclass
 class ComparisonReport:
     """Averaged outcome of a multi-seed searcher comparison."""
 
-    query_points: tuple
-    curves: dict = field(default_factory=dict)   # name -> [mean utility]
-    final: dict = field(default_factory=dict)    # name -> mean final utility
-    runs: list = field(default_factory=list)     # per-seed {name: SearchResult}
+    query_points: tuple[int, ...]
+    #: searcher name -> mean best-utility at each query point
+    curves: dict[str, list[float]] = field(default_factory=dict)
+    #: searcher name -> mean final utility
+    final: dict[str, float] = field(default_factory=dict)
+    #: one ``{searcher name: SearchResult}`` dict per seed
+    runs: list[dict[str, SearchResult]] = field(default_factory=list)
 
     def winner_at(self, query_index: int) -> str:
         """Searcher with the best mean utility at a query point."""
@@ -57,6 +56,26 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
+def validate_comparison(engine, baselines, iarda_target=None) -> None:
+    """Argument validation for :func:`compare_searchers`.
+
+    Raises :class:`ValueError` on unknown baseline names, on ``metam``
+    listed as a baseline, or on ``iarda`` without a target.  Exposed
+    separately so callers (the CLI) can fail fast before any search
+    spends queries, and distinguish bad arguments from runtime errors.
+    """
+    unknown = [b for b in baselines if b not in engine.searchers]
+    if unknown:
+        raise ValueError(f"unknown baselines: {unknown}")
+    if "metam" in baselines:
+        # METAM always runs (with the caller's config); listing it as a
+        # baseline would re-run it default-configured and silently
+        # overwrite the properly-configured result under the same key.
+        raise ValueError("'metam' always runs; don't list it as a baseline")
+    if "iarda" in baselines and iarda_target is None:
+        raise ValueError("iarda baseline needs iarda_target")
+
+
 def compare_searchers(
     scenario,
     budget: int = 150,
@@ -65,51 +84,59 @@ def compare_searchers(
     seeds=(0,),
     baselines=("mw", "overlap", "uniform"),
     query_points=(10, 25, 50, 100, 150),
-    iarda_target: str = None,
+    iarda_target: str | None = None,
     iarda_mode: str = "classification",
-    metam_config: MetamConfig = None,
+    metam_config: MetamConfig | None = None,
+    engine: DiscoveryEngine | None = None,
 ) -> ComparisonReport:
-    """Run METAM + baselines over ``seeds`` and average the curves."""
-    unknown = [b for b in baselines if b not in _BASELINES and b != "iarda"]
-    if unknown:
-        raise ValueError(f"unknown baselines: {unknown}")
-    runs = []
+    """Run METAM + baselines over ``seeds`` and average the curves.
+
+    ``engine`` reuses an existing :class:`~repro.api.DiscoveryEngine`
+    (its corpus must match the scenario's); by default a transient one is
+    built over ``scenario.corpus``.
+    """
+    # Imported here, not at module top: repro.api builds on repro.core
+    # (the searcher registry imports the baselines, which import this
+    # package), so a top-level import would be circular.
+    from repro.api.engine import DiscoveryEngine
+    from repro.api.request import DiscoveryRequest
+
+    if engine is None:
+        engine = DiscoveryEngine(corpus=scenario.corpus)
+    validate_comparison(engine, baselines, iarda_target=iarda_target)
+    runs: list[dict[str, SearchResult]] = []
     for seed in seeds:
-        candidates = prepare_candidates(scenario.base, scenario.corpus, seed=seed)
+        candidates = engine.prepare(scenario.base, seed=seed)
         config = metam_config or MetamConfig(
             theta=theta, query_budget=budget, epsilon=epsilon, seed=seed
         )
         per_seed = {
-            "metam": Metam(
-                candidates, scenario.base, scenario.corpus, scenario.task, config
-            ).run()
+            "metam": engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher="metam",
+                    config=config,
+                    candidates=candidates,
+                )
+            ).result
         }
         for name in baselines:
+            options: dict = {}
             if name == "iarda":
-                if iarda_target is None:
-                    raise ValueError("iarda baseline needs iarda_target")
-                searcher = IArdaSearcher(
-                    candidates,
-                    scenario.base,
-                    scenario.corpus,
-                    scenario.task,
-                    target_column=iarda_target,
-                    mode=iarda_mode,
+                options = {"target_column": iarda_target, "mode": iarda_mode}
+            per_seed[name] = engine.discover(
+                DiscoveryRequest(
+                    base=scenario.base,
+                    task=scenario.task,
+                    searcher=name,
                     theta=theta,
                     query_budget=budget,
                     seed=seed,
+                    options=options,
+                    candidates=candidates,
                 )
-            else:
-                searcher = _BASELINES[name](
-                    candidates,
-                    scenario.base,
-                    scenario.corpus,
-                    scenario.task,
-                    theta=theta,
-                    query_budget=budget,
-                    seed=seed,
-                )
-            per_seed[name] = searcher.run()
+            ).result
         runs.append(per_seed)
 
     report = ComparisonReport(query_points=tuple(query_points), runs=runs)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.dataframe.noise import (
     drop_headers,
     duplicate_rows,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.dataframe.ops import _aggregate, _key
 from repro.dataframe.table import Table

@@ -1,44 +1,47 @@
-"""End-to-end convenience pipeline: the public API most users want.
+"""Legacy free-function pipeline — deprecated shims over the engine API.
 
-``prepare_candidates`` builds the discovery index, enumerates join paths,
-materializes augmentations and attaches profile vectors; ``run_metam`` and
-``run_baseline`` execute a searcher over the shared candidate set.
+These were the public entry points before the session-oriented
+:class:`~repro.api.DiscoveryEngine` existed.  Each now delegates to a
+transient engine with byte-identical results (pinned by the golden Metam
+regression test) and emits a :class:`DeprecationWarning` naming its
+replacement:
+
+=====================  ==============================================
+legacy call            engine equivalent
+=====================  ==============================================
+``prepare_candidates``  ``DiscoveryEngine(corpus=..., catalog=...)``
+                        ``.prepare(base, spec=CandidateSpec(...))``
+``run_metam``           ``engine.discover(DiscoveryRequest(base=...,``
+                        ``task=..., searcher="metam", config=...))``
+``run_baseline``        ``engine.discover(DiscoveryRequest(base=...,``
+                        ``task=..., searcher=name, options={...}))``
+=====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro.baselines.arda import IArdaSearcher
-from repro.baselines.join_everything import JoinEverythingSearcher
-from repro.baselines.mw import MultiplicativeWeightsSearcher
-from repro.baselines.overlap_ranking import OverlapSearcher
-from repro.baselines.uniform import UniformSearcher
+import warnings
+
+from repro.api.engine import DiscoveryEngine
+from repro.api.request import CandidateSpec, DiscoveryRequest
 from repro.core.config import MetamConfig
-from repro.core.metam import Metam
 from repro.core.result import SearchResult
 from repro.dataframe.table import Table
-from repro.discovery.candidates import (
-    Candidate,
-    generate_candidates,
-    materialize_candidates,
-    profile_candidates,
-)
-from repro.discovery.index import DiscoveryIndex
-from repro.discovery.unions import find_union_candidates
-from repro.profiles.registry import ProfileRegistry, default_registry
+from repro.profiles.registry import ProfileRegistry
 
-_BASELINES = {
-    "mw": MultiplicativeWeightsSearcher,
-    "overlap": OverlapSearcher,
-    "uniform": UniformSearcher,
-    "iarda": IArdaSearcher,
-    "join_everything": JoinEverythingSearcher,
-}
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def prepare_candidates(
     base: Table,
     corpus: dict,
-    registry: ProfileRegistry = None,
+    registry: ProfileRegistry | None = None,
     min_containment: float = 0.3,
     max_hops: int = 1,
     max_fanout: int = 500,
@@ -48,84 +51,23 @@ def prepare_candidates(
     seed: int = 0,
     catalog=None,
 ) -> list:
-    """Discovery + materialization + profiling in one call.
+    """Deprecated: use :meth:`repro.api.DiscoveryEngine.prepare`.
 
-    Returns profiled :class:`~repro.discovery.candidates.Candidate`
-    objects, the common input of METAM and every baseline.
-
-    ``catalog`` (a :class:`repro.catalog.Catalog`) switches the call to
-    warm-start mode: the discovery index is hydrated from the catalog
-    (incrementally refreshed against ``corpus``, so only new or changed
-    tables are signed) and profile vectors are served from its cache.  The
-    catalog's own *index* configuration then applies — ``min_containment``
-    here only governs the cold path.  ``seed`` keeps governing profile
-    sampling in both modes (and is part of the profile-cache key, so reuse
-    the seed of earlier runs to hit their cached vectors).
+    Delegates to a transient engine; results are byte-identical to the
+    historical implementation (same discovery, materialization, and
+    profiling code, now living in the engine).
     """
-    registry = registry or default_registry()
-    cache = None
-    if catalog is not None:
-        overridden = []
-        if catalog.config["min_containment"] != min_containment:
-            overridden.append(
-                f"min_containment={catalog.config['min_containment']} "
-                f"(requested {min_containment})"
-            )
-        if catalog.config["seed"] != seed:
-            overridden.append(
-                f"index seed={catalog.config['seed']} (requested {seed}; "
-                f"the requested seed still governs profile sampling)"
-            )
-        if overridden:
-            import warnings
-
-            warnings.warn(
-                "catalog config overrides the requested values for "
-                "discovery in warm-start mode: " + ", ".join(overridden),
-                stacklevel=2,
-            )
-        diff = catalog.refresh(corpus)
-        if (
-            catalog.store is not None
-            and (diff.added or diff.updated)
-            and not catalog.removed_since_save
-        ):
-            # Keep the on-disk manifest/snapshot current, so the next
-            # process warm-starts from the packed snapshot instead of
-            # re-deriving state the objects already hold.  Only additive
-            # changes are persisted implicitly: a partial corpus (e.g. a
-            # filtered experiment) must not silently shrink the saved
-            # catalog — persisting removals requires an explicit save().
-            catalog.save()
-        index = catalog.index
-        cache = catalog.profile_cache(
-            base, registry, sample_size=sample_size, seed=seed
-        )
-    else:
-        index = DiscoveryIndex(min_containment=min_containment, seed=seed)
-        index.build(corpus.values())
-    augmentations = generate_candidates(
-        base, index, max_hops=max_hops, max_fanout=max_fanout
-    )
-    candidates = materialize_candidates(base, augmentations, corpus)
-    if include_unions:
-        for union in find_union_candidates(base, corpus, min_shared=min_union_shared):
-            candidates.append(
-                Candidate(
-                    aug=union,
-                    values=union.materialize(base, corpus),
-                    overlap=union.shared_fraction,
-                )
-            )
-    return profile_candidates(
-        candidates,
-        base,
-        corpus,
-        registry,
+    _deprecated("prepare_candidates", "DiscoveryEngine.prepare()")
+    engine = DiscoveryEngine(corpus=corpus, catalog=catalog)
+    spec = CandidateSpec(
+        min_containment=min_containment,
+        max_hops=max_hops,
+        max_fanout=max_fanout,
+        include_unions=include_unions,
+        min_union_shared=min_union_shared,
         sample_size=sample_size,
-        seed=seed,
-        cache=cache,
     )
+    return engine.prepare(base, spec=spec, registry=registry, seed=seed)
 
 
 def run_metam(
@@ -133,10 +75,28 @@ def run_metam(
     base: Table,
     corpus: dict,
     task,
-    config: MetamConfig = None,
+    config: MetamConfig | None = None,
 ) -> SearchResult:
-    """Run METAM over a prepared candidate set."""
-    return Metam(candidates, base, corpus, task, config).run()
+    """Deprecated: use :meth:`repro.api.DiscoveryEngine.discover` with
+    ``searcher="metam"``."""
+    _deprecated("run_metam", 'DiscoveryEngine.discover(searcher="metam")')
+    engine = DiscoveryEngine(corpus=corpus)
+    run = engine.discover(
+        DiscoveryRequest(
+            base=base,
+            task=task,
+            searcher="metam",
+            config=config,
+            candidates=candidates,
+        )
+    )
+    return run.result
+
+
+#: The names ``run_baseline`` historically accepted.  The engine's
+#: registry also carries the METAM variants, but the legacy function
+#: never did — a frozen shim must not silently widen its contract.
+_LEGACY_BASELINES = ("mw", "overlap", "uniform", "iarda", "join_everything")
 
 
 def run_baseline(
@@ -150,20 +110,25 @@ def run_baseline(
     seed: int = 0,
     **kwargs,
 ) -> SearchResult:
-    """Run one of the named baselines (mw/overlap/uniform/iarda/
-    join_everything) over a prepared candidate set."""
-    if name not in _BASELINES:
+    """Deprecated: use :meth:`repro.api.DiscoveryEngine.discover` with
+    ``searcher=name``."""
+    _deprecated("run_baseline", "DiscoveryEngine.discover(searcher=name)")
+    if name not in _LEGACY_BASELINES:
+        # Historical contract: unknown names raised ValueError.
         raise ValueError(
-            f"unknown baseline {name!r}; choose from {sorted(_BASELINES)}"
+            f"unknown baseline {name!r}; choose from {sorted(_LEGACY_BASELINES)}"
         )
-    searcher = _BASELINES[name](
-        candidates,
-        base,
-        corpus,
-        task,
-        theta=theta,
-        query_budget=query_budget,
-        seed=seed,
-        **kwargs,
+    engine = DiscoveryEngine(corpus=corpus)
+    run = engine.discover(
+        DiscoveryRequest(
+            base=base,
+            task=task,
+            searcher=name,
+            theta=theta,
+            query_budget=query_budget,
+            seed=seed,
+            options=dict(kwargs),
+            candidates=candidates,
+        )
     )
-    return searcher.run()
+    return run.result

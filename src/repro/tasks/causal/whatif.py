@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.dataframe.table import Table
 from repro.ml.preprocessing import Imputer
 from repro.tasks.base import Task, canonical_column

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.dataframe.table import Table
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import f1_score

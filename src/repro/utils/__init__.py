@@ -1,5 +1,6 @@
 """Shared utilities: deterministic RNG handling, statistics, text helpers."""
 
+from repro.utils.lru import LruDict
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.stats import (
     pearson,
@@ -18,6 +19,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LruDict",
     "ensure_rng",
     "spawn_rng",
     "pearson",

@@ -1,0 +1,48 @@
+"""A small bounded mapping with least-recently-used eviction.
+
+Shared by the serving engine's prepared-candidate cache and the
+catalog's streaming stats pass, so the eviction policy (dict insertion
+order as recency, refresh on read, evict the oldest at capacity) exists
+exactly once.
+"""
+
+from __future__ import annotations
+
+
+class LruDict:
+    """Mapping bounded to ``capacity`` entries, LRU-evicted.
+
+    Reads refresh recency; putting a new key at capacity evicts the
+    least recently touched entry.  ``capacity=None`` disables eviction
+    (an ordinary dict with recency tracking).
+    """
+
+    def __init__(self, capacity: int = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._entries = {}  # insertion order = recency (moved on touch)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key, default=None):
+        """Value for ``key`` (refreshes its recency), or ``default``."""
+        if key not in self._entries:
+            return default
+        value = self._entries.pop(key)
+        self._entries[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries.pop(key, None)
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()

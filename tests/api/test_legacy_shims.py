@@ -1,0 +1,110 @@
+"""The legacy free functions: deprecated, delegating, byte-identical."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscoveryEngine,
+    DiscoveryRequest,
+    MetamConfig,
+    prepare_candidates,
+    run_baseline,
+    run_metam,
+)
+from repro.data import clustering_scenario
+
+CONFIG = dict(theta=0.6, query_budget=25, epsilon=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return clustering_scenario(seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(scenario):
+    return DiscoveryEngine(corpus=scenario.corpus)
+
+
+class TestDeprecationWarnings:
+    def test_prepare_candidates_warns(self, scenario):
+        with pytest.warns(DeprecationWarning, match="prepare_candidates"):
+            prepare_candidates(scenario.base, scenario.corpus, seed=0)
+
+    def test_run_metam_warns(self, scenario, engine):
+        candidates = engine.prepare(scenario.base, seed=0)
+        with pytest.warns(DeprecationWarning, match="run_metam"):
+            run_metam(
+                candidates, scenario.base, scenario.corpus, scenario.task,
+                MetamConfig(**CONFIG),
+            )
+
+    def test_run_baseline_warns(self, scenario, engine):
+        candidates = engine.prepare(scenario.base, seed=0)
+        with pytest.warns(DeprecationWarning, match="run_baseline"):
+            run_baseline(
+                "uniform", candidates, scenario.base, scenario.corpus,
+                scenario.task, theta=0.6, query_budget=20, seed=0,
+            )
+
+    def test_warning_names_the_engine_replacement(self, scenario):
+        with pytest.warns(DeprecationWarning, match="DiscoveryEngine"):
+            prepare_candidates(scenario.base, scenario.corpus, seed=0)
+
+
+class TestDelegation:
+    def test_prepare_candidates_delegates_byte_identical(self, scenario, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = prepare_candidates(scenario.base, scenario.corpus, seed=0)
+        fresh = engine.prepare(scenario.base, seed=0)
+        assert [c.aug_id for c in legacy] == [c.aug_id for c in fresh]
+        for a, b in zip(legacy, fresh):
+            assert np.array_equal(a.profile_vector, b.profile_vector)
+            assert a.values == b.values
+
+    def test_run_baseline_delegates(self, scenario, engine):
+        candidates = engine.prepare(scenario.base, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_baseline(
+                "uniform", candidates, scenario.base, scenario.corpus,
+                scenario.task, theta=0.6, query_budget=20, seed=0,
+            )
+        via_engine = engine.discover(
+            DiscoveryRequest(
+                base=scenario.base,
+                task=scenario.task,
+                searcher="uniform",
+                theta=0.6,
+                query_budget=20,
+                seed=0,
+                candidates=candidates,
+            )
+        ).result
+        assert legacy.selected == via_engine.selected
+        assert legacy.trace == via_engine.trace
+
+    def test_run_baseline_unknown_name_still_value_error(self, scenario, engine):
+        candidates = engine.prepare(scenario.base, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="unknown baseline 'greedy'"):
+                run_baseline(
+                    "greedy", candidates, scenario.base, scenario.corpus,
+                    scenario.task,
+                )
+
+    def test_run_baseline_keeps_legacy_name_set(self, scenario, engine):
+        # The frozen shim must not widen with the registry: 'metam' (and
+        # the ablation variants) were never valid baseline names.
+        candidates = engine.prepare(scenario.base, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="unknown baseline 'metam'"):
+                run_baseline(
+                    "metam", candidates, scenario.base, scenario.corpus,
+                    scenario.task,
+                )

@@ -1,7 +1,5 @@
 """Catalog-backed Table-I corpus reports: disk artifacts == in-memory."""
 
-import os
-
 import pytest
 
 from repro.catalog import Catalog, CatalogStore, CatalogStoreError
@@ -36,6 +34,24 @@ class TestCorpusStatsEquality:
     def test_live_catalog_matches_in_memory(self, tmp_path, corpus, reference):
         catalog = build(tmp_path, corpus)
         assert catalog.corpus_stats() == reference
+
+    def test_streamed_matches_in_memory_path(self, tmp_path, corpus, reference):
+        # The shard-batched joinable pass (bounded resident entries) must
+        # report exactly what the hold-everything pass reports, at any
+        # batch size — including 1 (every cross-table check goes through
+        # the LRU) and sizes larger than the catalog.
+        build(tmp_path, corpus)
+        loaded = Catalog.load(str(tmp_path / "cat"))
+        in_memory = loaded.corpus_stats(batch_tables=None)
+        assert in_memory == reference
+        for batch_tables in (1, 3, N_TABLES + 10):
+            assert loaded.corpus_stats(batch_tables=batch_tables) == in_memory
+
+    def test_streamed_rejects_bad_batch_size(self, tmp_path, corpus):
+        build(tmp_path, corpus)
+        loaded = Catalog.load(str(tmp_path / "cat"))
+        with pytest.raises(ValueError, match="batch_tables"):
+            loaded.corpus_stats(batch_tables=0)
 
     def test_store_only_catalog_matches_in_memory(self, tmp_path, corpus, reference):
         build(tmp_path, corpus)
@@ -127,8 +143,22 @@ class TestCorpusStatsCli:
         from_catalog = capsys.readouterr().out
         assert from_catalog == from_corpus
 
+    def test_catalog_flag_streams_by_default_and_matches(self, tmp_path, capsys):
+        root = str(tmp_path / "cat")
+        assert main(["catalog", "build", root, "--tables", "15",
+                     "--seed", str(SEED)]) == 0
+        capsys.readouterr()
+        assert main(["corpus-stats", "--catalog", root]) == 0
+        streamed = capsys.readouterr().out
+        assert main(["corpus-stats", "--catalog", root,
+                     "--batch-tables", "0"]) == 0
+        in_memory = capsys.readouterr().out
+        assert streamed == in_memory
+
     def test_missing_catalog_errors_cleanly(self, tmp_path, capsys):
         assert main(
             ["corpus-stats", "--catalog", str(tmp_path / "nope")]
         ) == 1
-        assert "error" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "no catalog manifest" in captured.err

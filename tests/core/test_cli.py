@@ -26,6 +26,50 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestErrorPaths:
+    def test_unknown_scenario_exit_code_and_stderr(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "penguins"])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "invalid choice: 'penguins'" in err
+
+    def test_unknown_baseline_exit_code_and_stderr(self, capsys):
+        code = main(
+            ["run", "clustering", "--budget", "20", "--theta", "0.6",
+             "--baselines", "greedy"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "greedy" in captured.err
+        assert "error" not in captured.out
+
+    def test_missing_catalog_dir_exit_code_and_stderr(self, tmp_path, capsys):
+        code = main(["corpus-stats", "--catalog", str(tmp_path / "absent")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "no catalog manifest" in captured.err
+        assert captured.out == ""
+
+    def test_negative_batch_tables_rejected(self, capsys):
+        # A negative value must not silently select the unbounded
+        # hold-everything pass (only 0 means that).
+        code = main(["corpus-stats", "--tables", "5", "--batch-tables", "-5"])
+        assert code == 2
+        assert "--batch-tables must be >= 0" in capsys.readouterr().err
+
+    def test_batch_tables_without_catalog_warns(self, capsys):
+        # The in-memory path has no streaming pass — the flag must not
+        # silently pretend memory is bounded.
+        code = main(["corpus-stats", "--tables", "5", "--batch-tables", "64"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "only applies with --catalog" in captured.err
+        assert "#Tables" in captured.out
+
+
 class TestCommands:
     def test_list_scenarios_output(self, capsys):
         assert main(["list-scenarios"]) == 0
@@ -64,6 +108,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "metam" in out
         assert "queries" in out
+
+    def test_run_goes_through_engine(self, capsys, monkeypatch):
+        # 'repro run' must serve its searchers through DiscoveryEngine,
+        # not the legacy free functions.
+        from repro.api import DiscoveryEngine
+
+        calls = []
+        original = DiscoveryEngine.discover
+
+        def spy(self, request, progress=None, cancel=None):
+            calls.append(request.searcher)
+            return original(self, request, progress=progress, cancel=cancel)
+
+        monkeypatch.setattr(DiscoveryEngine, "discover", spy)
+        code = main(
+            ["run", "clustering", "--budget", "20", "--theta", "0.6",
+             "--baselines", "uniform", "--no-chart"]
+        )
+        assert code == 0
+        assert calls == ["metam", "uniform"]
+        out = capsys.readouterr().out
+        assert "metam" in out and "uniform" in out
 
     def test_corpus_stats(self, capsys):
         code = main(["corpus-stats", "--tables", "12"])
@@ -106,7 +172,7 @@ class TestCatalogCommands:
         # Built outside the CLI (no recorded corpus params): build must
         # refuse instead of replacing the real tables with synthetic ones.
         assert main(["catalog", "build", path]) == 1
-        assert "outside the CLI" in capsys.readouterr().out
+        assert "outside the CLI" in capsys.readouterr().err
         manifest = CatalogStore(path).read_manifest()
         assert "real" in manifest["tables"]
 
@@ -119,7 +185,7 @@ class TestCatalogCommands:
         capsys.readouterr()
         # Different corpus definition: refuse instead of replacing tables.
         assert main(["catalog", "build", path, "--tables", "6", "--seed", "9"]) == 1
-        assert "use 'catalog update'" in capsys.readouterr().out
+        assert "use 'catalog update'" in capsys.readouterr().err
 
     def test_update_refuses_without_recorded_corpus_params(self, capsys, tmp_path):
         import os
@@ -131,7 +197,7 @@ class TestCatalogCommands:
         # No recorded params and no flags: refuse rather than regenerate a
         # different corpus and churn the catalog.
         assert main(["catalog", "update", path]) == 1
-        assert "no recorded corpus parameters" in capsys.readouterr().out
+        assert "no recorded corpus parameters" in capsys.readouterr().err
         # Explicit flags still work.
         assert main(
             ["catalog", "update", path, "--tables", "6", "--seed", "7",
@@ -158,7 +224,7 @@ class TestCatalogCommands:
             ["catalog", "build", str(tmp_path / "c"), "--num-perm", "60"]
         )
         assert code == 1
-        assert "error:" in capsys.readouterr().out
+        assert "error:" in capsys.readouterr().err
 
     def test_corrupt_manifest_reports_cleanly(self, capsys, tmp_path):
         path = tmp_path / "cat"
@@ -166,7 +232,7 @@ class TestCatalogCommands:
         (path / "manifest.json").write_text("garbage")
         for command in ("stats", "update", "build"):
             assert main(["catalog", command, str(path)]) == 1
-            assert "error: corrupt catalog manifest" in capsys.readouterr().out
+            assert "error: corrupt catalog manifest" in capsys.readouterr().err
 
     def test_catalog_requires_subcommand(self):
         with pytest.raises(SystemExit):

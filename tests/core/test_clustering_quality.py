@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Clusters, QualityScorer, chebyshev, cluster_partition
+from repro.core import QualityScorer, chebyshev, cluster_partition
 from repro.core.clustering import singleton_clusters
 
 

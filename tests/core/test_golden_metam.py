@@ -81,6 +81,36 @@ class TestGoldenColdRun:
         assert [(q, round(u, 6)) for q, u in result.trace] == GOLDEN_TRACE
 
 
+class TestGoldenEngineRun:
+    def test_engine_run_matches_golden(self, scenario, cold):
+        """The engine path (prepare inside discover) must reproduce the
+        legacy free-function path byte for byte."""
+        from repro.api import DiscoveryEngine, DiscoveryRequest
+
+        cold_candidates, cold_result = cold
+        engine = DiscoveryEngine(corpus=scenario.corpus)
+        run = engine.discover(
+            DiscoveryRequest(
+                base=scenario.base,
+                task=scenario.task,
+                searcher="metam",
+                seed=SEED,
+                config=MetamConfig(**CONFIG),
+            )
+        )
+        assert run.n_candidates == GOLDEN_N_CANDIDATES
+        assert run.result.selected == GOLDEN_SELECTED
+        assert round(run.result.base_utility, 6) == GOLDEN_BASE_UTILITY
+        assert round(run.result.utility, 6) == GOLDEN_UTILITY
+        assert run.result.queries == GOLDEN_QUERIES
+        assert [(q, round(u, 6)) for q, u in run.result.trace] == GOLDEN_TRACE
+        assert run.result.trace == cold_result.trace  # exact, not rounded
+        prepared = engine.prepare(scenario.base, seed=SEED)
+        assert ids_digest(prepared) == GOLDEN_IDS_DIGEST
+        for cold_c, engine_c in zip(cold_candidates, prepared):
+            assert np.array_equal(cold_c.profile_vector, engine_c.profile_vector)
+
+
 class TestGoldenCatalogRun:
     def test_catalog_backed_run_matches_golden(self, tmp_path, scenario, cold):
         cold_candidates, cold_result = cold

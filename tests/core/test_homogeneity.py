@@ -1,7 +1,6 @@
 """Direct tests for the cluster-homogeneity validation (P2 fallback)."""
 
 import numpy as np
-import pytest
 
 from repro.core.clustering import cluster_partition
 from repro.core.homogeneity import _band_holds, check_cluster_homogeneity

@@ -1,6 +1,5 @@
 """Integration tests: METAM end-to-end on synthetic scenarios."""
 
-import numpy as np
 import pytest
 
 from repro import MetamConfig, prepare_candidates, run_metam

@@ -4,7 +4,6 @@ import pytest
 
 from repro import prepare_candidates, run_baseline
 from repro.data import clustering_scenario, unions_scenario
-from repro.profiles import default_registry
 from repro.profiles.extensions import extended_registry
 
 

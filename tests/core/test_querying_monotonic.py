@@ -10,7 +10,7 @@ from repro.core import (
     ThompsonGroupSelector,
     identify_minimal,
 )
-from repro.core.clustering import cluster_partition, singleton_clusters
+from repro.core.clustering import cluster_partition
 from repro.dataframe import Table
 from repro.discovery import Candidate
 from repro.tasks.base import Task

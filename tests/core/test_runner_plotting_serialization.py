@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.plotting import render_traces
 from repro.core.result import SearchResult
-from repro.core.runner import ComparisonReport, compare_searchers
+from repro.core.runner import compare_searchers
 from repro.core.serialization import (
     load_results,
     result_from_dict,
@@ -74,8 +74,10 @@ class TestPlotting:
         low = make_result("low", 0.3, trace=[(1, 0.3)])
         chart = render_traces({"high": high, "low": low}, width=30, height=12)
         lines = chart.splitlines()
-        first_star = next(i for i, l in enumerate(lines) if "*" in l)
-        first_o = next(i for i, l in enumerate(lines) if "o" in l and "o=" not in l)
+        first_star = next(i for i, row in enumerate(lines) if "*" in row)
+        first_o = next(
+            i for i, row in enumerate(lines) if "o" in row and "o=" not in row
+        )
         assert first_star < first_o  # higher utility drawn nearer the top
 
 
@@ -115,6 +117,13 @@ class TestRunner:
         scenario = sat_howto_scenario(seed=0, n_irrelevant=2, n_erroneous=1, n_traps=1)
         with pytest.raises(ValueError):
             compare_searchers(scenario, baselines=("greedy",))
+
+    def test_metam_rejected_as_baseline(self):
+        # 'metam' always runs; as a baseline it would re-run default-
+        # configured and overwrite the configured result under its key.
+        scenario = sat_howto_scenario(seed=0, n_irrelevant=2, n_erroneous=1, n_traps=1)
+        with pytest.raises(ValueError, match="don't list it as a baseline"):
+            compare_searchers(scenario, baselines=("metam",))
 
     def test_iarda_needs_target(self):
         scenario = sat_howto_scenario(seed=0, n_irrelevant=2, n_erroneous=1, n_traps=1)

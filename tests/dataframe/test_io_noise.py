@@ -1,6 +1,5 @@
 """Tests for CSV IO and Definition-1 noise models."""
 
-import numpy as np
 import pytest
 
 from repro.dataframe import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dataframe.table import Table
-from repro.discovery.index import ColumnRef, DiscoveryIndex
+from repro.discovery.index import DiscoveryIndex
 from repro.discovery.lsh import LshIndex
 from repro.discovery.minhash import MinHasher
 

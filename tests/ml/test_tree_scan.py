@@ -1,7 +1,6 @@
 """Correctness tests for the vectorized split scan against brute force."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for PC orientation (v-structures + Meek rules)."""
 
 import numpy as np
-import pytest
 
 from repro.tasks.causal.orientation import (
     Cpdag,

@@ -1,0 +1,49 @@
+"""Tests for the shared bounded-LRU mapping."""
+
+import pytest
+
+from repro.utils import LruDict
+
+
+class TestLruDict:
+    def test_put_get_roundtrip(self):
+        lru = LruDict(capacity=3)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.get("missing") is None
+        assert lru.get("missing", 42) == 42
+        assert "a" in lru and len(lru) == 1
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LruDict(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh a's recency
+        lru.put("c", 3)  # evicts b, not a
+        assert "a" in lru and "c" in lru
+        assert "b" not in lru
+
+    def test_overwrite_does_not_evict(self):
+        lru = LruDict(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # replace, still 2 entries
+        assert len(lru) == 2
+        assert lru.get("a") == 10
+        assert lru.get("b") == 2
+
+    def test_unbounded_when_capacity_none(self):
+        lru = LruDict(capacity=None)
+        for i in range(100):
+            lru.put(i, i)
+        assert len(lru) == 100
+
+    def test_clear(self):
+        lru = LruDict(capacity=2)
+        lru.put("a", 1)
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LruDict(capacity=0)
