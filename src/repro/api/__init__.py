@@ -9,6 +9,7 @@ run record).  See the module docstrings of :mod:`repro.api.engine`,
 """
 
 from repro.api.engine import DiscoveryEngine, EngineStateError
+from repro.api.futures import DiscoveryFuture
 from repro.api.events import (
     AugmentationAccepted,
     CancellationToken,
@@ -33,6 +34,7 @@ from repro.api.run import DiscoveryRun
 __all__ = [
     "DiscoveryEngine",
     "EngineStateError",
+    "DiscoveryFuture",
     "DiscoveryRequest",
     "CandidateSpec",
     "DiscoveryRun",

@@ -12,17 +12,30 @@ it::
                                            config=MetamConfig(theta=0.8)))
     print(run.result.summary())
 
-``discover`` is thread-safe: candidate preparation is lock-scoped (the
-first request pays, concurrent requests for the same spec share the
-result), while each run gets its own searcher, query accounting, and RNG
-— so N callers can serve requests against one warm engine concurrently
-(see ``benchmarks/bench_engine_concurrency.py``).
+``discover`` is thread-safe: candidate preparation is striped — every
+``(base content, spec, seed, registry)`` key has its own lock, so the
+first request for a key pays, concurrent requests for the same key share
+the result, and requests for *disjoint* keys prepare fully in parallel
+(see ``benchmarks/bench_engine_parallel.py``; catalog mutations are
+serialized internally, and the on-disk store is concurrency-safe in its
+own right).  Each run gets its own searcher, query accounting, and RNG —
+so N callers can serve requests against one warm engine concurrently
+(``benchmarks/bench_engine_concurrency.py``).
+
+``submit`` is the non-blocking variant: it queues the request on a
+bounded worker pool and returns a
+:class:`~repro.api.futures.DiscoveryFuture` immediately.  An optional
+result cache (``result_cache_bytes``) serves repeated identical requests
+from their recorded runs without re-searching.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 
 from repro.api.events import (
     AugmentationAccepted,
@@ -40,6 +53,7 @@ from repro.api.registries import (
     default_searchers,
     default_tasks,
 )
+from repro.api.futures import DiscoveryFuture
 from repro.api.request import CandidateSpec, DiscoveryRequest
 from repro.api.run import DiscoveryRun
 from repro.catalog import Catalog
@@ -55,6 +69,7 @@ from repro.discovery.index import DiscoveryIndex
 from repro.discovery.unions import find_union_candidates
 from repro.profiles.registry import default_registry
 from repro.tasks.base import Task
+from repro.utils.locks import KeyedMutex
 from repro.utils.lru import LruDict
 
 
@@ -87,6 +102,22 @@ class DiscoveryEngine:
         many (base, spec, seed) combinations, and each set holds every
         candidate's materialized values — without a bound the cache
         grows with the request history instead of the working set.
+    striped_prepare:
+        ``True`` (default) gives every prepare key its own lock, so
+        disjoint keys prepare in parallel.  ``False`` restores the
+        engine-wide prepare lock of earlier releases — the baseline the
+        parallel benchmark compares against; results are identical
+        either way.
+    max_workers:
+        Size of the bounded worker pool behind :meth:`submit` (created
+        lazily on the first submit; :meth:`shutdown` drains it).
+    result_cache_bytes:
+        Byte budget of the engine-level result cache (measured as the
+        JSON run-record size, LRU-evicted).  ``0``/``None`` (default)
+        disables it.  Cached runs are exact replays — the recorded
+        result, events, and timings — keyed by a canonical request
+        fingerprint, and the cache is invalidated whenever the corpus
+        or catalog content changes.
     """
 
     def __init__(
@@ -98,6 +129,9 @@ class DiscoveryEngine:
         tasks: Registry = None,
         scenarios: Registry = None,
         max_prepared_sets: int = 32,
+        striped_prepare: bool = True,
+        max_workers: int = 4,
+        result_cache_bytes: int = None,
     ):
         try:
             prepared = LruDict(capacity=max_prepared_sets)
@@ -105,15 +139,33 @@ class DiscoveryEngine:
             raise ValueError(
                 f"max_prepared_sets must be >= 1 or None, got {max_prepared_sets}"
             ) from None
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.catalog = catalog
         self.searchers = searchers if searchers is not None else default_searchers()
         self.tasks = tasks if tasks is not None else default_tasks()
         self.scenarios = scenarios if scenarios is not None else default_scenarios()
         self._profile_registry = profile_registry
         self._corpus = None
+        self._corpus_epoch = 0
         self._lock = threading.RLock()
+        # Catalog mutations (refresh/save, lazy index paging, profile
+        # cache construction) stay serialized even under striped
+        # preparation: the in-memory index is shared mutable state.
+        self._catalog_lock = threading.RLock()
+        self.striped_prepare = bool(striped_prepare)
+        self._prepare_keys = KeyedMutex()  # per-key locks (striped mode)
+        self._prepare_gate = threading.RLock()  # engine-wide (legacy mode)
         self.max_prepared_sets = max_prepared_sets
         self._prepared = prepared  # prepare key -> candidates (LRU-bounded)
+        self.max_workers = max_workers
+        self._executor = None
+        if result_cache_bytes:
+            self._results = LruDict(max_bytes=result_cache_bytes)
+        else:
+            self._results = None  # disabled
+        self.result_cache_bytes = result_cache_bytes
+        self.result_cache_hits = 0
         self._next_run_id = 1
         self.runs_started = 0
         self.runs_completed = 0
@@ -160,8 +212,28 @@ class DiscoveryEngine:
             normalized[table.name] = table
         with self._lock:
             self._corpus = normalized
+            self._corpus_epoch += 1
             self._prepared.clear()
+            self._invalidate_results()
         return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain the async worker pool (no-op when none was created).
+
+        ``wait=True`` blocks until queued runs finish.  The engine stays
+        usable — a later :meth:`submit` lazily builds a fresh pool.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "DiscoveryEngine":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown(wait=True)
+        return False
 
     @property
     def corpus(self) -> dict:
@@ -180,7 +252,7 @@ class DiscoveryEngine:
             return self._profile_registry
 
     # ------------------------------------------------------------------
-    # Candidate preparation (lock-scoped, cached)
+    # Candidate preparation (striped per-key locks, cached)
     # ------------------------------------------------------------------
     def prepare(
         self,
@@ -193,89 +265,131 @@ class DiscoveryEngine:
 
         Returns profiled :class:`~repro.discovery.candidates.Candidate`
         objects — the common input of METAM and every baseline.  Results
-        are cached by (base content, spec, seed, profile registry), so
-        concurrent requests against the same base share one preparation;
-        the whole step runs under the engine lock because it mutates
-        shared state (the catalog's index and profile cache).
+        are cached by (base content, spec, seed, profile registry), and
+        preparation is locked per key: concurrent requests for the same
+        key share one preparation, while disjoint keys prepare in
+        parallel (catalog mutations are serialized internally, and the
+        catalog store's own writes are concurrency-safe).
         """
         candidates, _from_cache, _corpus = self._prepare_cached(
             base, spec, registry, seed
         )
         return candidates
 
-    def _prepare_cached(self, base, spec, registry, seed):
-        """Lock-scoped prepare.
+    def _prepare_cached(
+        self, base, spec, registry, seed,
+        base_fingerprint=None, registry_fp=None,
+    ):
+        """Per-key-locked prepare.
 
         Returns ``(candidates, from_cache, corpus)`` — the corpus
-        snapshot the candidates were prepared from, taken under the same
-        lock, so callers run their searcher against exactly the tables
-        the candidates reference even if ``attach_corpus`` races.
+        snapshot the candidates were prepared from, taken under the
+        engine lock, so callers run their searcher against exactly the
+        tables the candidates reference even if ``attach_corpus`` races
+        (a prepare that overlaps a corpus swap keeps its own snapshot
+        and is not admitted into the cache of the new corpus).
+
+        ``base_fingerprint``/``registry_fp`` let callers that already
+        fingerprinted those inputs (the result-cache path) skip the
+        second hash of each.
         """
         spec = spec or CandidateSpec()
         registry = registry if registry is not None else self.profile_registry()
         key = (
-            table_fingerprint(base),
+            base_fingerprint or table_fingerprint(base),
             spec,
             int(seed),
-            registry_fingerprint(registry),
+            registry_fp or registry_fingerprint(registry),
         )
         with self._lock:
             corpus = self.corpus
             cached = self._prepared.get(key)
             if cached is not None:
                 return list(cached), True, corpus
-            candidates = self._prepare_locked(base, spec, registry, seed, corpus)
-            self._prepared.put(key, candidates)
+        if self.striped_prepare:
+            guard = self._prepare_keys(key)
+        else:
+            guard = self._prepare_gate
+        with guard:
+            with self._lock:
+                # Re-check under the key lock: a concurrent holder may
+                # have prepared this exact key while we waited.
+                corpus = self.corpus
+                epoch = self._corpus_epoch
+                cached = self._prepared.get(key)
+                if cached is not None:
+                    return list(cached), True, corpus
+            candidates = self._prepare_uncached(base, spec, registry, seed, corpus)
+            with self._lock:
+                if epoch == self._corpus_epoch:
+                    self._prepared.put(key, candidates)
             return list(candidates), False, corpus
 
-    def _prepare_locked(self, base, spec, registry, seed, corpus) -> list:
+    def _prepare_uncached(self, base, spec, registry, seed, corpus) -> list:
         """The discovery front-end (exactly the legacy ``prepare_candidates``
-        semantics, so warm and cold paths stay byte-identical)."""
+        semantics, so warm and cold paths stay byte-identical).
+
+        Runs outside the engine lock.  With a catalog attached, the
+        catalog-touching section (refresh/save, index queries with their
+        lazy entry paging, profile-cache construction) holds the
+        engine's catalog lock; materialization and profiling — the
+        dominant cost — run in parallel across keys either way."""
         cache = None
         if self.catalog is not None:
-            catalog = self.catalog
-            overridden = []
-            if catalog.config["min_containment"] != spec.min_containment:
-                overridden.append(
-                    f"min_containment={catalog.config['min_containment']} "
-                    f"(requested {spec.min_containment})"
-                )
-            if catalog.config["seed"] != seed:
-                overridden.append(
-                    f"index seed={catalog.config['seed']} (requested {seed}; "
-                    f"the requested seed still governs profile sampling)"
-                )
-            if overridden:
-                import warnings
+            with self._catalog_lock:
+                catalog = self.catalog
+                overridden = []
+                if catalog.config["min_containment"] != spec.min_containment:
+                    overridden.append(
+                        f"min_containment={catalog.config['min_containment']} "
+                        f"(requested {spec.min_containment})"
+                    )
+                if catalog.config["seed"] != seed:
+                    overridden.append(
+                        f"index seed={catalog.config['seed']} (requested {seed}; "
+                        f"the requested seed still governs profile sampling)"
+                    )
+                if overridden:
+                    import warnings
 
-                warnings.warn(
-                    "catalog config overrides the requested values for "
-                    "discovery in warm-start mode: " + ", ".join(overridden),
-                    stacklevel=3,
+                    warnings.warn(
+                        "catalog config overrides the requested values for "
+                        "discovery in warm-start mode: " + ", ".join(overridden),
+                        stacklevel=3,
+                    )
+                diff = catalog.refresh(corpus)
+                if diff.changed:
+                    # Changed catalog content means previously recorded
+                    # results may no longer reproduce.
+                    self._invalidate_results()
+                if (
+                    catalog.store is not None
+                    and (diff.added or diff.updated)
+                    and not catalog.removed_since_save
+                ):
+                    # Keep the on-disk manifest/snapshot current, so the
+                    # next process warm-starts from the packed snapshot.
+                    # Only additive changes are persisted implicitly: a
+                    # partial corpus must not silently shrink the saved
+                    # catalog.
+                    catalog.save()
+                cache = catalog.profile_cache(
+                    base, registry, sample_size=spec.sample_size, seed=seed
                 )
-            diff = catalog.refresh(corpus)
-            if (
-                catalog.store is not None
-                and (diff.added or diff.updated)
-                and not catalog.removed_since_save
-            ):
-                # Keep the on-disk manifest/snapshot current, so the next
-                # process warm-starts from the packed snapshot.  Only
-                # additive changes are persisted implicitly: a partial
-                # corpus must not silently shrink the saved catalog.
-                catalog.save()
-            index = catalog.index
-            cache = catalog.profile_cache(
-                base, registry, sample_size=spec.sample_size, seed=seed
-            )
+                augmentations = generate_candidates(
+                    base,
+                    catalog.index,
+                    max_hops=spec.max_hops,
+                    max_fanout=spec.max_fanout,
+                )
         else:
             index = DiscoveryIndex(
                 min_containment=spec.min_containment, seed=seed
             )
             index.build(corpus.values())
-        augmentations = generate_candidates(
-            base, index, max_hops=spec.max_hops, max_fanout=spec.max_fanout
-        )
+            augmentations = generate_candidates(
+                base, index, max_hops=spec.max_hops, max_fanout=spec.max_fanout
+            )
         candidates = materialize_candidates(base, augmentations, corpus)
         if spec.include_unions:
             for union in find_union_candidates(
@@ -314,24 +428,179 @@ class DiscoveryEngine:
         happens; ``cancel`` stops the run cooperatively at its next
         utility query (the run then finishes with status
         ``"cancelled"`` and ``result=None``).
+
+        With the result cache enabled, a request identical to a
+        previously completed one is served as an exact replay: the
+        recorded run comes back under a fresh ``run_id`` with
+        ``cached=True``, and its recorded events are re-streamed to
+        ``progress`` (they carry the original run's id).
         """
         task = self._resolve_task(request)
         factory = self.searchers.get(request.searcher)  # fail before any work
         self.corpus  # fail fast when none is attached
+        cache_key = self._result_cache_key(request)
+        if cancel is not None and cancel.cancelled:
+            # An already-cancelled token must yield a cancelled run, not
+            # a completed replay — skip the cache and serve normally
+            # (the run stops at its first utility query, as ever).
+            cache_key = None
+        if cache_key is not None:
+            hit = None
+            with self._lock:
+                # Lookup under the *current* catalog mutation count:
+                # out-of-band catalog changes (engine.catalog.add/...)
+                # shift the count and make older entries unreachable.
+                hit = self._results.get(cache_key + (self._catalog_mutations(),))
+                if hit is not None:
+                    run_id = self._next_run_id
+                    self._next_run_id += 1
+                    self.runs_started += 1
+            if hit is not None:
+                try:
+                    if progress is not None:
+                        for event in hit.events:
+                            progress(event)
+                except BaseException:
+                    # A progress callback bug during a replay still
+                    # balances the books, exactly like a live run's.
+                    with self._lock:
+                        self.runs_failed += 1
+                    raise
+                with self._lock:
+                    self.runs_completed += 1
+                    self.result_cache_hits += 1
+                    # The replayed result's queries count as served:
+                    # accounting stays comparable whether a run executed
+                    # or replayed.
+                    self.queries_served += hit.queries
+                return replace(
+                    hit,
+                    run_id=run_id,
+                    request=request,
+                    events=list(hit.events),
+                    cached=True,
+                )
         with self._lock:
             run_id = self._next_run_id
             self._next_run_id += 1
             self.runs_started += 1
+        mutations_box = [] if cache_key is not None else None
         try:
-            return self._serve(request, task, factory, run_id, progress, cancel)
+            run = self._serve(
+                request,
+                task,
+                factory,
+                run_id,
+                progress,
+                cancel,
+                # The cache key leads with the base-table and registry
+                # fingerprints; reuse both so a cache-enabled discover
+                # hashes each input once, not twice.
+                base_fingerprint=cache_key[0] if cache_key else None,
+                registry_fp=cache_key[1] if cache_key else None,
+                mutations_box=mutations_box,
+            )
         except BaseException:
             # Anything that escapes (bad searcher options, a task that
             # raises, a progress callback bug) still balances the books.
             with self._lock:
                 self.runs_failed += 1
             raise
+        if cache_key is not None and run.completed and mutations_box:
+            # Size by the JSON run record — the serializable footprint
+            # the LRU budget is defined over (computed outside the lock).
+            # The key embeds the corpus epoch this run was requested
+            # under; if attach_corpus raced the search, the entry lands
+            # under the superseded epoch and no future request can hit
+            # it (their keys carry the new epoch).  The catalog mutation
+            # count was stamped after this run's prepare (it reflects
+            # the run's own catalog refresh) and before its search (a
+            # catalog mutated mid-search leaves the entry under the
+            # older, unreachable count).
+            size = len(json.dumps(run.to_record()).encode("utf-8"))
+            with self._lock:
+                self._results.put(
+                    cache_key + (mutations_box[0],), run, size=size
+                )
+        return run
 
-    def _serve(self, request, task, factory, run_id, progress, cancel):
+    def submit(
+        self,
+        request: DiscoveryRequest,
+        progress=None,
+        cancel: CancellationToken = None,
+    ) -> DiscoveryFuture:
+        """Non-blocking :meth:`discover`: returns immediately.
+
+        The request is queued on the engine's bounded worker pool (at
+        most ``max_workers`` runs execute at once; further submissions
+        wait their turn) and served with exactly the synchronous
+        semantics — same preparation sharing, result cache, events, and
+        records.  The returned :class:`DiscoveryFuture` owns the run's
+        cancellation token (``cancel`` to supply your own), so queued
+        runs can be dropped and executing runs stopped cooperatively.
+        """
+        token = cancel if cancel is not None else CancellationToken()
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            future = self._executor.submit(self.discover, request, progress, token)
+        return DiscoveryFuture(future, token, request)
+
+    def _catalog_mutations(self) -> int:
+        """The attached catalog's structural mutation count (``-1``
+        without one) — the cache-key component that makes entries
+        recorded before any catalog change unreachable."""
+        return self.catalog.mutations if self.catalog is not None else -1
+
+    def _result_cache_key(self, request: DiscoveryRequest):
+        """Cache-key prefix for ``request``, or ``None`` when uncacheable
+        (cache disabled, candidates supplied, task given as an object, or
+        options without a canonical form).
+
+        The prefix embeds the current corpus epoch: entries recorded
+        under a previous corpus are unreachable by construction, so a
+        run that races an ``attach_corpus`` can never be replayed
+        against the new corpus (the explicit clear then just reclaims
+        the memory).  Callers append the catalog mutation count — at
+        lookup time for reads, at admission time for writes (a run's own
+        prepare may legitimately refresh the catalog)."""
+        if self._results is None:
+            return None
+        descriptor = request.cache_descriptor()
+        if descriptor is None:
+            return None
+        registry = (
+            request.registry
+            if request.registry is not None
+            else self.profile_registry()
+        )
+        with self._lock:
+            epoch = self._corpus_epoch
+        return (
+            table_fingerprint(request.base),
+            registry_fingerprint(registry),
+            descriptor,
+            epoch,
+            # Re-registering a searcher or task under the same name
+            # (overwrite=True) must not replay runs of the old factory.
+            self.searchers.mutations,
+            self.tasks.mutations,
+        )
+
+    def _invalidate_results(self) -> None:
+        """Drop every cached run (corpus or catalog content changed)."""
+        with self._lock:
+            if self._results is not None:
+                self._results.clear()
+
+    def _serve(
+        self, request, task, factory, run_id, progress, cancel,
+        base_fingerprint=None, registry_fp=None, mutations_box=None,
+    ):
         events = []
 
         def emit(event):
@@ -365,9 +634,20 @@ class DiscoveryEngine:
                 else request.prepare_seed
             )
             candidates, from_cache, corpus = self._prepare_cached(
-                request.base, request.spec, request.registry, prepare_seed
+                request.base,
+                request.spec,
+                request.registry,
+                prepare_seed,
+                base_fingerprint=base_fingerprint,
+                registry_fp=registry_fp,
             )
             source = "cache" if from_cache else "prepared"
+        if mutations_box is not None:
+            # Stamp the catalog state the run's inputs reflect *before*
+            # the search: a catalog mutated while the search runs must
+            # not get this run admitted under its post-mutation key.
+            with self._catalog_lock:
+                mutations_box.append(self._catalog_mutations())
         prepare_seconds = time.perf_counter() - start
         emit(
             CandidatesPrepared(
@@ -473,7 +753,10 @@ class DiscoveryEngine:
         the live corpus with a transient index seeded by ``seed``.
         """
         if self.catalog is not None and self.catalog.store is not None:
-            return self.catalog.corpus_stats(batch_tables=batch_tables)
+            # The catalog-backed pass pages lazy index entries — shared
+            # mutable state, serialized against concurrent prepares.
+            with self._catalog_lock:
+                return self.catalog.corpus_stats(batch_tables=batch_tables)
         from repro.data import corpus_characteristics
 
         corpus = list(self.corpus.values())
@@ -490,11 +773,25 @@ class DiscoveryEngine:
                 "runs_failed": self.runs_failed,
                 "queries_served": self.queries_served,
                 "prepared_candidate_sets": len(self._prepared),
+                "active_prepares": len(self._prepare_keys),
+                "async_pool_active": self._executor is not None,
+                "result_cache_hits": self.result_cache_hits,
+                "result_cache_entries": (
+                    len(self._results) if self._results is not None else 0
+                ),
+                "result_cache_bytes": (
+                    self._results.total_bytes if self._results is not None else 0
+                ),
                 "corpus_tables": len(self._corpus) if self._corpus else 0,
                 "searchers": self.searchers.names(),
             }
-            # Read under the same lock that guards prepare(): a catalog
-            # mid-refresh must not leak a half-applied view into stats.
-            if self.catalog is not None:
+        # Catalog state is guarded by the catalog lock, not the engine
+        # lock — and deliberately taken *after* releasing it: a prepare
+        # holds the catalog lock while it invalidates the result cache
+        # (engine lock), so nesting them here in the opposite order
+        # would deadlock.  A catalog mid-refresh must still not leak a
+        # half-applied view into stats.
+        if self.catalog is not None:
+            with self._catalog_lock:
                 out["catalog"] = self.catalog.stats()
         return out

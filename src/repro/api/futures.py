@@ -1,0 +1,67 @@
+"""Asynchronous serving handles: :class:`DiscoveryFuture`.
+
+:meth:`DiscoveryEngine.submit` returns immediately with a future backed
+by the engine's bounded worker pool.  The future owns the run's
+:class:`~repro.api.events.CancellationToken`, so ``cancel()`` works at
+every stage of the lifecycle: a run still queued behind the pool is
+dropped before it starts, and a run already executing is stopped
+cooperatively at its next utility query (completing with status
+``"cancelled"``, exactly like a synchronous cancelled ``discover``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from repro.api.events import CancellationToken, RunCancelled
+
+
+class DiscoveryFuture:
+    """Handle on one asynchronously served discovery request."""
+
+    def __init__(
+        self,
+        future: concurrent.futures.Future,
+        cancel_token: CancellationToken,
+        request,
+    ):
+        self._future = future
+        self.cancel_token = cancel_token
+        self.request = request
+
+    def done(self) -> bool:
+        """True once the run finished, was cancelled, or failed."""
+        return self._future.done()
+
+    def running(self) -> bool:
+        return self._future.running()
+
+    def cancel(self) -> None:
+        """Stop the run at whatever stage it is in.
+
+        Queued-but-not-started runs never execute (their ``result()``
+        raises :class:`~repro.api.events.RunCancelled`); executing runs
+        stop cooperatively at the next utility query and resolve to a
+        :class:`~repro.api.run.DiscoveryRun` with status
+        ``"cancelled"``.
+        """
+        self.cancel_token.cancel()
+        self._future.cancel()
+
+    def result(self, timeout: float = None):
+        """The completed :class:`~repro.api.run.DiscoveryRun`.
+
+        Blocks up to ``timeout`` seconds (forever by default).  Raises
+        :class:`~repro.api.events.RunCancelled` when the run was
+        cancelled before it ever started, and re-raises whatever the
+        run itself raised.
+        """
+        try:
+            return self._future.result(timeout=timeout)
+        except concurrent.futures.CancelledError:
+            raise RunCancelled("run cancelled before it started") from None
+
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback(future)`` (this wrapper) when the run
+        resolves; runs immediately if it already has."""
+        self._future.add_done_callback(lambda _inner: callback(self))

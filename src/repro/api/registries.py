@@ -43,6 +43,11 @@ class Registry:
     def __init__(self, kind: str, entries: dict = None):
         self.kind = kind
         self._entries = dict(entries or {})
+        #: Monotone count of (re-)registrations and removals.  Cheap
+        #: change detection for caches keyed on registry contents (the
+        #: engine's result cache must not replay a run recorded under a
+        #: factory that has since been replaced).
+        self.mutations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,12 +77,14 @@ class Registry:
                 "overwrite=True to replace it"
             )
         self._entries[name] = factory
+        self.mutations += 1
         return factory
 
     def unregister(self, name: str) -> None:
         if name not in self._entries:
             raise RegistryError(f"no {self.kind} named {name!r} to unregister")
         del self._entries[name]
+        self.mutations += 1
 
     def get(self, name: str):
         """The factory for ``name``; unknown names fail with the choices."""

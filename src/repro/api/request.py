@@ -11,6 +11,7 @@ information need it answered.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field
 
 from repro.core.config import MetamConfig
@@ -128,6 +129,58 @@ class DiscoveryRequest:
             "candidates_supplied": self.candidates is not None,
             "label": self.label,
         }
+
+    def cache_descriptor(self) -> str | None:
+        """Canonical description of everything (besides engine state)
+        that determines this request's result — the engine's result
+        cache combines it with the base table's content fingerprint and
+        the profile registry's fingerprint to form the cache key.
+
+        ``None`` marks the request uncacheable: pre-supplied candidate
+        lists and task *objects* carry arbitrary state the descriptor
+        cannot canonicalize, and options that are not plain JSON values
+        have no stable identity.  Cacheable requests serialize
+        deterministically (sorted keys, primitives only), so equal
+        descriptors imply equal results on an unchanged engine.
+        """
+        if self.candidates is not None or not isinstance(self.task, str):
+            return None
+        try:
+            return json.dumps(
+                {
+                    "task": self.task,
+                    "task_options": _canonical(self.task_options),
+                    "searcher": self.searcher,
+                    "theta": self.theta,
+                    "query_budget": self.query_budget,
+                    "seed": self.seed,
+                    "prepare_seed": self.prepare_seed,
+                    "spec": self.spec.to_record(),
+                    "config": (
+                        asdict(self.config) if self.config is not None else None
+                    ),
+                    "options": _canonical(self.options),
+                },
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return None
+
+
+def _canonical(value):
+    """Strictly canonical form of a user-supplied option value.
+
+    Unlike :func:`_jsonable` there is no ``repr`` fallback — an object
+    without a stable JSON identity raises ``TypeError``, which marks the
+    whole request uncacheable rather than risking a false cache hit.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"no canonical form for {type(value).__name__}")
 
 
 def _jsonable(value):

@@ -37,6 +37,10 @@ class DiscoveryRun:
         candidate set the searcher saw.
     prepare_seconds / search_seconds:
         Wall-clock of the two phases.
+    cached:
+        ``True`` when the engine served this run from its result cache —
+        result, events, and timings are those of the original execution;
+        only ``run_id`` (and this flag) are fresh.
     """
 
     run_id: int
@@ -48,6 +52,7 @@ class DiscoveryRun:
     candidate_source: str = "prepared"
     prepare_seconds: float = 0.0
     search_seconds: float = 0.0
+    cached: bool = False
 
     @property
     def completed(self) -> bool:
@@ -90,6 +95,7 @@ class DiscoveryRun:
             ),
             "n_candidates": self.n_candidates,
             "candidate_source": self.candidate_source,
+            "cached": self.cached,
             "timings": {
                 "prepare_seconds": self.prepare_seconds,
                 "search_seconds": self.search_seconds,

@@ -114,6 +114,10 @@ class Catalog:
         # Instrumentation: columns signed from scratch vs hydrated from disk.
         self.computed_columns = 0
         self.loaded_columns = 0
+        #: Monotone count of structural mutations (every add/remove).
+        #: Cheap change detection for caches layered above the catalog:
+        #: equal counts on one instance imply an unchanged table set.
+        self.mutations = 0
         if store is not None:
             self._index.set_entry_loader(self._load_entries)
             manifest = store.read_manifest()
@@ -201,6 +205,7 @@ class Catalog:
                 self._removed_since_save.discard(table.name)
                 self._removed_fingerprints.pop(table.name, None)
                 self.loaded_columns += len(table.column_names)
+                self.mutations += 1
                 return fingerprint
         entries = None
         if self.store is not None and self.store.has_object(object_id):
@@ -217,6 +222,7 @@ class Catalog:
         self._fingerprints[table.name] = fingerprint
         self._removed_since_save.discard(table.name)
         self._removed_fingerprints.pop(table.name, None)
+        self.mutations += 1
         return fingerprint
 
     def _compute_and_persist(self, table: Table, object_id: str) -> dict:
@@ -293,6 +299,7 @@ class Catalog:
         self._persisted.pop(table_name, None)
         self._removed_since_save.add(table_name)
         self._removed_fingerprints[table_name] = removed_fingerprint
+        self.mutations += 1
 
     def update(self, table: Table) -> bool:
         """Re-catalog a table if its content changed.
@@ -375,6 +382,7 @@ class Catalog:
                 self._removed_since_save.add(name)
                 if previous is not None:
                     self._removed_fingerprints[name] = previous
+                self.mutations += 1
             diff.removed.append(name)
         for name in sorted(tables):
             table = tables[name]
@@ -406,35 +414,89 @@ class Catalog:
         are carried forward rather than truncated — saving must never
         shrink the catalog below what it still references; only
         :meth:`remove`/:meth:`refresh` drop tables.
+
+        The whole transition runs under the store's root advisory file
+        lock and *merges* with what is on disk: tables saved there by a
+        concurrent writer (another process indexing a different slice of
+        the corpus) that this catalog has never seen — and never removed
+        — are carried forward, manifest and snapshot rows alike, so
+        concurrent ``catalog build``/``update`` runs against one store
+        compose instead of overwriting each other.  The merge respects
+        peer removals symmetrically: a carried-forward table (known only
+        from an earlier save, not hydrated here) that a peer's save has
+        since dropped from the on-disk manifest stays dropped — its
+        object may already be gc'd, and resurrecting the name would
+        leave a manifest pointing at nothing.  Tables live in *this*
+        process are always saved (this catalog observed them in its
+        corpus).  A store whose on-disk config differs is a genuine
+        conflict and raises.
         """
         if self.store is None:
             raise CatalogStoreError("catalog has no store attached")
-        combined = {**self._persisted, **self._fingerprints}
-        tables = self._index.tables
-        rows = []
-        for name in sorted(combined):
-            if name in self._fingerprints:
-                for column in tables[name].column_names:
-                    ref = ColumnRef(name, column)
-                    rows.append(
-                        (
-                            name,
-                            self._fingerprints[name],
-                            column,
-                            self._index.signature_of(ref),
-                        )
+        with self.store.root_lock():
+            on_disk = self.store.read_manifest()
+            foreign = {}
+            persisted = dict(self._persisted)
+            if on_disk is not None:
+                if on_disk["config"] != self.config:
+                    raise CatalogStoreError(
+                        f"catalog at {self.store.root!r} now holds config "
+                        f"{on_disk['config']!r}, which differs from this "
+                        f"catalog's {self.config!r}; refusing to merge the "
+                        "save"
                     )
-            else:
-                # Not hydrated in this process: carry the previous
-                # snapshot's rows forward (fingerprint-checked, so stale
-                # rows are dropped; the objects still cover the table).
-                signatures = self._snapshot_signatures(name, combined[name])
-                for column, signature in (signatures or {}).items():
-                    rows.append((name, combined[name], column, signature))
-        # Snapshot before manifest: rows are fingerprint-checked at read
-        # time, so either crash-ordering leaves a consistent store.
-        self.store.write_snapshot(rows)
-        self.store.write_manifest(self.config, combined)
+                known = (
+                    set(self._fingerprints)
+                    | set(self._persisted)
+                    | self._removed_since_save
+                )
+                foreign = {
+                    name: fingerprint
+                    for name, fingerprint in on_disk["tables"].items()
+                    if name not in known
+                }
+                # Honor peer removals: only carry forward names the
+                # on-disk manifest still lists (or that are live here).
+                persisted = {
+                    name: fingerprint
+                    for name, fingerprint in persisted.items()
+                    if name in on_disk["tables"] or name in self._fingerprints
+                }
+            combined = {**foreign, **persisted, **self._fingerprints}
+            tables = self._index.tables
+            disk_snapshot = None
+            rows = []
+            for name in sorted(combined):
+                if name in self._fingerprints:
+                    for column in tables[name].column_names:
+                        ref = ColumnRef(name, column)
+                        rows.append(
+                            (
+                                name,
+                                self._fingerprints[name],
+                                column,
+                                self._index.signature_of(ref),
+                            )
+                        )
+                else:
+                    # Not hydrated in this process (carried forward from
+                    # the previous save, or saved by a concurrent
+                    # writer): keep the on-disk snapshot's rows.  They
+                    # are fingerprint-checked, so stale rows drop out
+                    # and the objects still cover the table.
+                    if disk_snapshot is None:
+                        disk_snapshot = self.store.read_snapshot() or {}
+                    recorded = disk_snapshot.get(name)
+                    if recorded is not None and recorded[0] == combined[name]:
+                        for column, signature in recorded[1].items():
+                            rows.append(
+                                (name, combined[name], column, signature)
+                            )
+            # Snapshot before manifest: rows are fingerprint-checked at
+            # read time, so either crash-ordering leaves a consistent
+            # store.
+            self.store.write_snapshot(rows)
+            self.store.write_manifest(self.config, combined)
         self._persisted = combined
         self._removed_since_save = set()
         self._removed_fingerprints = {}
@@ -462,6 +524,31 @@ class Catalog:
             )
         }
         return self.store.gc(live)
+
+    def verify(self) -> dict:
+        """Integrity check of the persisted catalog.
+
+        Runs the store's deep :meth:`~CatalogStore.verify` (every object
+        decodes, every shard manifest entry has its file) and
+        additionally checks that every table the root manifest references
+        still has a readable object — the invariant concurrent writers
+        and crash recovery must preserve.  Returns the store report with
+        a ``"tables"`` count added; an intact catalog reports no
+        problems."""
+        if self.store is None:
+            raise CatalogStoreError("catalog has no store attached")
+        report = self.store.verify()
+        manifest = self.store.read_manifest() or {"tables": {}}
+        for name, fingerprint in sorted(manifest["tables"].items()):
+            object_id = self._object_id(fingerprint)
+            try:
+                self.store.read_object(object_id)
+            except (KeyError, CatalogStoreError) as error:
+                report["problems"].append(
+                    f"table {name!r}: object {object_id!r} unreadable: {error}"
+                )
+        report["tables"] = len(manifest["tables"])
+        return report
 
     @classmethod
     def load(cls, root, corpus=None) -> "Catalog":

@@ -36,6 +36,18 @@ policy: each group's byte size and last-touch time live in its shard
 manifest, and ``profile_budget_bytes`` (enforced after every write, or on
 demand via :meth:`evict_profiles` / ``repro catalog gc``) drops the
 least-recently-used groups until the total fits the budget.
+
+Mutations are concurrency-safe across threads *and* processes: every
+shard-manifest update runs under a per-shard advisory file lock
+(``<shard>/.lock``) and follows an append-then-atomic-rename protocol —
+the delta is first appended to ``<shard>/manifest.log`` (one atomic
+``O_APPEND`` write), then compacted into a freshly renamed
+``manifest.json`` and the log cleared.  Readers replay the log over the
+base manifest, so a writer that dies between append and rename leaves a
+store that still reads back every completed update; the next writer
+finishes the compaction.  Data files stay safe without locks: objects
+are content-addressed and immutable, and every file lands via a unique
+temp file + rename.
 """
 
 from __future__ import annotations
@@ -52,6 +64,7 @@ import numpy as np
 
 from repro.catalog.fingerprint import shard_of
 from repro.discovery.index import ColumnEntry
+from repro.utils.locks import FileLock
 
 VERSION = 2
 #: Layout versions this code can read (writes always use :data:`VERSION`).
@@ -377,9 +390,37 @@ class CatalogStore:
     :meth:`evict_profiles`).
     """
 
+    #: Per-shard delta journal (see the module docstring's protocol).
+    LOG_NAME = "manifest.log"
+    #: Advisory lock sidecar, one per locked directory.
+    LOCK_NAME = ".lock"
+
     def __init__(self, root: str, profile_budget_bytes: int = None):
         self.root = str(root)
         self.profile_budget_bytes = profile_budget_bytes
+        #: Test seam: a callable invoked with a protocol point name
+        #: (``"shard-log-appended"``, ``"shard-manifest-compacted"``) at
+        #: the matching moment of every shard-manifest update.  Fault
+        #: tests raise (or ``os._exit``) from it to kill a writer
+        #: mid-protocol; ``None`` (the default) is free.
+        self.fault_hook = None
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+    def _dir_lock(self, directory: str) -> FileLock:
+        """Advisory file lock guarding one directory's manifest."""
+        return FileLock(os.path.join(directory, self.LOCK_NAME))
+
+    def root_lock(self) -> FileLock:
+        """Advisory file lock guarding whole-store transitions (the root
+        manifest + snapshot pair); taken by :meth:`Catalog.save` so
+        concurrent savers merge instead of overwriting each other."""
+        return self._dir_lock(self.root)
 
     # ------------------------------------------------------------------
     # Paths
@@ -460,18 +501,61 @@ class CatalogStore:
     # ------------------------------------------------------------------
     # Per-shard manifests (advisory indexes; the directory is the truth)
     # ------------------------------------------------------------------
+    def _shard_log_path(self, shard_dir: str) -> str:
+        return os.path.join(shard_dir, self.LOG_NAME)
+
+    def _replay_shard_log(self, shard_dir: str, payload: dict) -> dict:
+        """Apply the shard's delta journal over ``payload`` in place.
+
+        Each log line is one ``{"section", "op", "key"[, "value"]}``
+        record; malformed or torn lines (a writer killed mid-append, a
+        partial tail after a crash) are skipped — every complete record
+        still applies, which is exactly the crash guarantee."""
+        try:
+            with open(self._shard_log_path(shard_dir), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return payload
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if not isinstance(record, dict):
+                continue
+            section = record.get("section")
+            key = record.get("key")
+            if not isinstance(section, str) or not isinstance(key, str):
+                continue
+            entries = payload.get(section)
+            if not isinstance(entries, dict):
+                entries = {}
+                payload[section] = entries
+            op = record.get("op")
+            if op == "set":
+                entries[key] = record.get("value")
+            elif op == "del":
+                entries.pop(key, None)
+        return payload
+
     def _read_shard_manifest(self, shard_dir: str) -> dict:
-        """Shard manifest payload, or ``{}`` when absent or corrupt — a
-        damaged shard manifest degrades to directory probing and is
-        rebuilt by the next write, never trusted over the files."""
+        """Shard manifest payload (base file + replayed delta log), or
+        ``{}`` when absent or corrupt — a damaged shard manifest degrades
+        to directory probing and is rebuilt by the next write, never
+        trusted over the files."""
         try:
             with open(
                 os.path.join(shard_dir, "manifest.json"), encoding="utf-8"
             ) as handle:
                 payload = json.load(handle)
-            return payload if isinstance(payload, dict) else {}
+            if not isinstance(payload, dict):
+                payload = {}
         except (FileNotFoundError, NotADirectoryError, json.JSONDecodeError):
-            return {}
+            payload = {}
+        return self._replay_shard_log(shard_dir, payload)
 
     def _read_shard_section(self, shard_dir: str, section: str) -> dict:
         """One section of a shard manifest, guaranteed to be a dict — a
@@ -480,18 +564,43 @@ class CatalogStore:
         value = self._read_shard_manifest(shard_dir).get(section)
         return value if isinstance(value, dict) else {}
 
-    def _update_shard_manifest(self, shard_dir: str, section: str, mutate) -> None:
-        """Read-mutate-write one shard manifest section atomically
-        (best-effort: bookkeeping failure must never fail the data write;
-        a wrong-typed section is replaced rather than trusted)."""
+    def _update_shard_manifest(
+        self, shard_dir: str, section: str, op: str, key: str, value=None
+    ) -> None:
+        """Durably apply one ``set``/``del`` to a shard manifest section.
+
+        Append-then-atomic-rename under the shard's advisory file lock:
+        the delta is appended to ``manifest.log`` first (a single
+        ``O_APPEND`` write, visible to readers immediately and surviving
+        a writer that dies before compaction), then the full log is
+        compacted into a freshly renamed ``manifest.json`` and cleared.
+        The lock serializes concurrent read-modify-writes, so updates
+        from different threads or processes cannot drop each other.
+        Best-effort like all manifest bookkeeping: an ``OSError`` leaves
+        the directory itself as the source of truth."""
+        record = {"section": section, "op": op, "key": key}
+        if op == "set":
+            record["value"] = value
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         try:
-            payload = self._read_shard_manifest(shard_dir)
-            entries = payload.get(section)
-            if not isinstance(entries, dict):
-                entries = {}
-                payload[section] = entries
-            mutate(entries)
-            _atomic_write_json(os.path.join(shard_dir, "manifest.json"), payload)
+            os.makedirs(shard_dir, exist_ok=True)
+            with self._dir_lock(shard_dir):
+                fd = os.open(
+                    self._shard_log_path(shard_dir),
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                    0o644,
+                )
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
+                self._fault("shard-log-appended")
+                payload = self._read_shard_manifest(shard_dir)
+                _atomic_write_json(
+                    os.path.join(shard_dir, "manifest.json"), payload
+                )
+                self._fault("shard-manifest-compacted")
+                _remove_if_exists(self._shard_log_path(shard_dir))
         except OSError:
             pass
 
@@ -548,9 +657,7 @@ class CatalogStore:
         os.makedirs(shard_dir, exist_ok=True)
         _atomic_write_bytes(path, DEFAULT_CODEC.encode(meta, entries))
         self._update_shard_manifest(
-            shard_dir,
-            "objects",
-            lambda objects: objects.__setitem__(fingerprint, DEFAULT_CODEC.version),
+            shard_dir, "objects", "set", fingerprint, DEFAULT_CODEC.version
         )
         # Drop superseded representations (other codecs, the v1 flat
         # file) so a heal can never resurrect stale content later.
@@ -604,9 +711,7 @@ class CatalogStore:
         _remove_if_exists(self._legacy_object_path(fingerprint))
         shard_dir = self._object_shard_dir(fingerprint)
         if self._read_shard_section(shard_dir, "objects").get(fingerprint):
-            self._update_shard_manifest(
-                shard_dir, "objects", lambda objects: objects.pop(fingerprint, None)
-            )
+            self._update_shard_manifest(shard_dir, "objects", "del", fingerprint)
 
     def _extensions(self):
         return {codec.extension for codec in CODECS.values()}
@@ -726,25 +831,36 @@ class CatalogStore:
     # ------------------------------------------------------------------
     # Profile vectors
     # ------------------------------------------------------------------
+    #: Sentinel distinguishing a corrupt profile archive from a valid
+    #: empty one (both would otherwise read back as ``{}``).
+    _CORRUPT_PROFILES = object()
+
+    def _read_profile_file(self, path: str):
+        """Raw ``{key: vector}`` from one ``.npz`` group file.
+
+        ``None`` when the file is absent, :data:`_CORRUPT_PROFILES`
+        when it is damaged — cached profiles are a pure optimization,
+        so corruption degrades to recomputation (and is overwritten by
+        the next flush), never fails a discovery run."""
+        try:
+            with np.load(path) as payload:
+                return {
+                    key: payload[key].astype(float, copy=False)
+                    for key in payload.files
+                }
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return self._CORRUPT_PROFILES
+
     def read_profiles(self, base_fingerprint: str) -> dict:
         """Cached ``{profile key: vector}`` for one base table.
 
         Reading touches the group's LRU clock, so actively-used bases
         survive budget enforcement."""
         path = self._profile_path(base_fingerprint)
-        entries = None
-        try:
-            with np.load(path) as payload:
-                entries = {
-                    key: payload[key].astype(float, copy=False)
-                    for key in payload.files
-                }
-        except FileNotFoundError:
-            pass
-        except Exception:
-            # Cached profiles are a pure optimization: a corrupt file
-            # degrades to recomputation (and is overwritten by the next
-            # flush), never fails a discovery run.
+        entries = self._read_profile_file(path)
+        if entries is self._CORRUPT_PROFILES:
             return {}
         if entries is not None:
             # LRU bookkeeping happens outside the load guard: a failed
@@ -766,25 +882,45 @@ class CatalogStore:
         except (json.JSONDecodeError, KeyError, TypeError, AttributeError, ValueError):
             return {}
 
-    def write_profiles(self, base_fingerprint: str, entries: dict) -> None:
+    def write_profiles(
+        self, base_fingerprint: str, entries: dict, merge: bool = True
+    ) -> None:
+        """Persist one base table's profile group.
+
+        ``merge=True`` (default) folds ``entries`` into whatever the
+        group already holds on disk — union by profile key, new vectors
+        winning — under the shard's file lock, so two concurrent
+        preparers flushing different vectors for the same base cannot
+        drop each other's work.  Profile keys fully determine their
+        vectors (they embed every input fingerprint), so merging never
+        mixes incompatible values.  ``merge=False`` replaces the group
+        outright — for callers that intend a rewrite (a rebuild tool, a
+        curation script) rather than a flush."""
         path = self._profile_path(base_fingerprint)
         shard_dir = os.path.dirname(path)
         os.makedirs(shard_dir, exist_ok=True)
-        buffer = io.BytesIO()
         arrays = {
             key: np.asarray(vector, dtype=float)
-            for key, vector in sorted(entries.items())
+            for key, vector in entries.items()
         }
-        np.savez(buffer, **arrays)
-        blob = buffer.getvalue()
-        _atomic_write_bytes(path, blob)
-        self._update_shard_manifest(
-            shard_dir,
-            "groups",
-            lambda groups: groups.__setitem__(
-                base_fingerprint, {"bytes": len(blob), "touched": _now()}
-            ),
-        )
+        with self._dir_lock(shard_dir):
+            if merge:
+                current = self._read_profile_file(path)
+                if current and current is not self._CORRUPT_PROFILES:
+                    arrays = {**current, **arrays}
+            buffer = io.BytesIO()
+            np.savez(
+                buffer, **{key: arrays[key] for key in sorted(arrays)}
+            )
+            blob = buffer.getvalue()
+            _atomic_write_bytes(path, blob)
+            self._update_shard_manifest(
+                shard_dir,
+                "groups",
+                "set",
+                base_fingerprint,
+                {"bytes": len(blob), "touched": _now()},
+            )
         _remove_if_exists(self._legacy_profile_path(base_fingerprint))
         if self.profile_budget_bytes is not None:
             self.evict_profiles(
@@ -795,16 +931,20 @@ class CatalogStore:
         """Refresh one group's LRU clock — pure bookkeeping, so any
         failure is swallowed (eviction falls back to file mtimes)."""
         shard_dir = self._profile_shard_dir(base_fingerprint)
-
-        def touch(groups):
-            info = groups.get(base_fingerprint)
-            if not isinstance(info, dict):
-                info = {"bytes": _file_size(self._profile_path(base_fingerprint))}
-            info["touched"] = _now()
-            groups[base_fingerprint] = info
-
         try:
-            self._update_shard_manifest(shard_dir, "groups", touch)
+            info = self._read_shard_section(shard_dir, "groups").get(
+                base_fingerprint
+            )
+            if isinstance(info, dict):
+                info = dict(info)
+            else:
+                info = {
+                    "bytes": _file_size(self._profile_path(base_fingerprint))
+                }
+            info["touched"] = _now()
+            self._update_shard_manifest(
+                shard_dir, "groups", "set", base_fingerprint, info
+            )
         except Exception:
             pass
 
@@ -815,7 +955,7 @@ class CatalogStore:
         shard_dir = self._profile_shard_dir(base_fingerprint)
         if self._read_shard_section(shard_dir, "groups").get(base_fingerprint):
             self._update_shard_manifest(
-                shard_dir, "groups", lambda groups: groups.pop(base_fingerprint, None)
+                shard_dir, "groups", "del", base_fingerprint
             )
 
     def list_profile_groups(self) -> list:
@@ -974,6 +1114,60 @@ class CatalogStore:
         if manifest is not None and manifest.get("version") != VERSION:
             self.write_manifest(manifest["config"], manifest["tables"])
         return {"objects": migrated_objects, "profiles": migrated_profiles}
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def verify(self) -> dict:
+        """Deep integrity check of every manifest and artifact.
+
+        Decodes every stored object, loads every profile group, parses
+        the root manifest, and cross-checks each shard manifest entry
+        against the files it claims — the post-condition multi-writer
+        and crash tests assert on.  Returns ``{"objects": n,
+        "profile_groups": n, "problems": [...]}``; an intact store
+        reports no problems."""
+        problems = []
+        try:
+            self.read_manifest()
+        except CatalogStoreError as error:
+            problems.append(f"root manifest: {error}")
+        objects = self.list_objects()
+        for fingerprint in objects:
+            try:
+                self.read_object(fingerprint)
+            except (KeyError, CatalogStoreError) as error:
+                problems.append(f"object {fingerprint!r}: {error}")
+        objects_dir = self._objects_dir()
+        if os.path.isdir(objects_dir):
+            for name in sorted(os.listdir(objects_dir)):
+                shard_dir = os.path.join(objects_dir, name)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for fingerprint, version in sorted(
+                    self._read_shard_section(shard_dir, "objects").items()
+                ):
+                    if version not in CODECS:
+                        problems.append(
+                            f"shard {name}: object {fingerprint!r} records "
+                            f"unknown codec version {version!r}"
+                        )
+                        continue
+                    if not self.has_object(fingerprint):
+                        problems.append(
+                            f"shard {name}: manifest references missing "
+                            f"object {fingerprint!r}"
+                        )
+        groups = self.list_profile_groups()
+        for group in groups:
+            loaded = self._read_profile_file(self._profile_path(group))
+            if loaded is self._CORRUPT_PROFILES:
+                problems.append(f"profile group {group!r}: corrupt archive")
+        return {
+            "objects": len(objects),
+            "profile_groups": len(groups),
+            "problems": problems,
+        }
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -7,6 +7,10 @@ Commands
 ``run``
     Run METAM (and optionally baselines) on a scenario and print the
     utility-vs-queries chart; ``--save`` archives results as JSON.
+    ``--async`` serves every searcher concurrently through the engine's
+    worker pool (identical results, overlapped wall-clock);
+    ``--no-result-cache`` disables the engine's result cache.  Ctrl-C
+    cancels the comparison cooperatively and exits with status 130.
 ``corpus-stats``
     Generate a synthetic corpus and print its Table-I characteristics —
     or, with ``--catalog DIR``, serve the report straight from a saved
@@ -25,9 +29,15 @@ Commands
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
-from repro.api import DiscoveryEngine, default_scenarios
+from repro.api import (
+    CancellationToken,
+    DiscoveryEngine,
+    RunCancelled,
+    default_scenarios,
+)
 from repro.core.config import MetamConfig
 from repro.core.plotting import render_traces
 from repro.core.runner import compare_searchers, validate_comparison
@@ -75,6 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--save", default=None, help="write results JSON here")
     run.add_argument("--no-chart", action="store_true", help="skip ASCII chart")
+    run.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve METAM and the baselines concurrently through the "
+        "engine's worker pool (engine.submit); results are identical to "
+        "the sequential path",
+    )
+    run.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="build the serving engine without its result cache.  The "
+        "cache replays repeated identical requests on a long-lived "
+        "engine; a single comparison issues each searcher once with "
+        "pre-prepared candidates (which bypass the cache by design), "
+        "so for 'repro run' itself this only pins down the engine "
+        "configuration",
+    )
 
     stats = sub.add_parser("corpus-stats", help="Table-I style corpus stats")
     stats.add_argument("--tables", type=int, default=100)
@@ -162,6 +190,34 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+#: Result-cache budget for CLI-built engines (``--no-result-cache`` = 0).
+_RESULT_CACHE_BYTES = 8 << 20
+
+
+def _cancel_on_sigint(token: CancellationToken):
+    """Install a SIGINT handler that fires ``token`` (cooperative cancel
+    instead of a mid-run traceback); returns a restore callable.
+
+    Cancellation is observed at utility queries, so a run deep in
+    candidate preparation takes a moment to stop — a *second* Ctrl-C
+    therefore restores the previous handler and raises
+    ``KeyboardInterrupt``, so the user is never trapped behind a
+    cooperative flag.  In environments without signal support (non-main
+    thread, embedded interpreters) cancellation stays caller-driven."""
+
+    def handler(signum, frame):
+        if token.cancelled:
+            signal.signal(signal.SIGINT, previous)
+            raise KeyboardInterrupt
+        token.cancel()
+
+    try:
+        previous = signal.signal(signal.SIGINT, handler)
+    except ValueError:
+        return lambda: None
+    return lambda: signal.signal(signal.SIGINT, previous)
+
+
 def _cmd_run(args) -> int:
     scenario = SCENARIOS[args.scenario](seed=args.seed)
     baselines = () if args.baselines == "none" else tuple(
@@ -172,7 +228,10 @@ def _cmd_run(args) -> int:
     )
     # One engine serves every searcher of the run: all of them share the
     # prepared candidate set (and a warm catalog, if one is ever wired in).
-    engine = DiscoveryEngine(corpus=scenario.corpus)
+    engine = DiscoveryEngine(
+        corpus=scenario.corpus,
+        result_cache_bytes=0 if args.no_result_cache else _RESULT_CACHE_BYTES,
+    )
     if "iarda" in baselines:
         _error(
             "the 'iarda' baseline needs a target column and is not "
@@ -187,22 +246,35 @@ def _cmd_run(args) -> int:
     except ValueError as error:
         _error(str(error))
         return 2
-    report = compare_searchers(
-        scenario,
-        budget=args.budget,
-        theta=args.theta,
-        epsilon=args.epsilon,
-        seeds=(args.seed,),
-        baselines=baselines,
-        query_points=query_points,
-        metam_config=MetamConfig(
+    cancel = CancellationToken()
+    restore_sigint = _cancel_on_sigint(cancel)
+    try:
+        report = compare_searchers(
+            scenario,
+            budget=args.budget,
             theta=args.theta,
-            query_budget=args.budget,
             epsilon=args.epsilon,
-            seed=args.seed,
-        ),
-        engine=engine,
-    )
+            seeds=(args.seed,),
+            baselines=baselines,
+            query_points=query_points,
+            metam_config=MetamConfig(
+                theta=args.theta,
+                query_budget=args.budget,
+                epsilon=args.epsilon,
+                seed=args.seed,
+            ),
+            engine=engine,
+            parallel=args.use_async,
+            cancel=cancel,
+        )
+    except RunCancelled:
+        # A cancelled comparison must be distinguishable from success:
+        # exit like an interrupted process (128 + SIGINT).
+        _error("run cancelled before completion")
+        return 130
+    finally:
+        restore_sigint()
+        engine.shutdown()
     print(f"Scenario: {scenario.name} "
           f"({scenario.base.num_rows} rows, {len(scenario.corpus)} repo tables)\n")
     print(report.table())

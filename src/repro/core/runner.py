@@ -88,18 +88,37 @@ def compare_searchers(
     iarda_mode: str = "classification",
     metam_config: MetamConfig | None = None,
     engine: DiscoveryEngine | None = None,
+    parallel: bool = False,
+    cancel=None,
 ) -> ComparisonReport:
     """Run METAM + baselines over ``seeds`` and average the curves.
 
     ``engine`` reuses an existing :class:`~repro.api.DiscoveryEngine`
     (its corpus must match the scenario's); by default a transient one is
     built over ``scenario.corpus``.
+
+    ``parallel=True`` submits every searcher of a seed through
+    :meth:`~repro.api.DiscoveryEngine.submit` and gathers the futures —
+    the requests (and therefore the results) are identical to the
+    sequential path; candidates are still prepared once per seed.
+    ``cancel`` (a :class:`~repro.api.CancellationToken`) aborts the
+    whole comparison cooperatively: the first cancelled run raises
+    :class:`~repro.api.RunCancelled` instead of letting a partial
+    comparison masquerade as a complete one.
     """
     # Imported here, not at module top: repro.api builds on repro.core
     # (the searcher registry imports the baselines, which import this
     # package), so a top-level import would be circular.
     from repro.api.engine import DiscoveryEngine
+    from repro.api.events import RunCancelled
     from repro.api.request import DiscoveryRequest
+
+    def checked(run) -> SearchResult:
+        if run.cancelled:
+            raise RunCancelled(
+                f"comparison run {run.request.searcher!r} was cancelled"
+            )
+        return run.result
 
     if engine is None:
         engine = DiscoveryEngine(corpus=scenario.corpus)
@@ -110,33 +129,48 @@ def compare_searchers(
         config = metam_config or MetamConfig(
             theta=theta, query_budget=budget, epsilon=epsilon, seed=seed
         )
-        per_seed = {
-            "metam": engine.discover(
-                DiscoveryRequest(
-                    base=scenario.base,
-                    task=scenario.task,
-                    searcher="metam",
-                    config=config,
-                    candidates=candidates,
-                )
-            ).result
+        requests = {
+            "metam": DiscoveryRequest(
+                base=scenario.base,
+                task=scenario.task,
+                searcher="metam",
+                config=config,
+                candidates=candidates,
+            )
         }
         for name in baselines:
             options: dict = {}
             if name == "iarda":
                 options = {"target_column": iarda_target, "mode": iarda_mode}
-            per_seed[name] = engine.discover(
-                DiscoveryRequest(
-                    base=scenario.base,
-                    task=scenario.task,
-                    searcher=name,
-                    theta=theta,
-                    query_budget=budget,
-                    seed=seed,
-                    options=options,
-                    candidates=candidates,
-                )
-            ).result
+            requests[name] = DiscoveryRequest(
+                base=scenario.base,
+                task=scenario.task,
+                searcher=name,
+                theta=theta,
+                query_budget=budget,
+                seed=seed,
+                options=options,
+                candidates=candidates,
+            )
+        if parallel:
+            futures = {
+                name: engine.submit(request, cancel=cancel)
+                for name, request in requests.items()
+            }
+            try:
+                per_seed = {
+                    name: checked(future.result())
+                    for name, future in futures.items()
+                }
+            except BaseException:
+                for future in futures.values():
+                    future.cancel()  # don't leave siblings running
+                raise
+        else:
+            per_seed = {
+                name: checked(engine.discover(request, cancel=cancel))
+                for name, request in requests.items()
+            }
         runs.append(per_seed)
 
     report = ComparisonReport(query_points=tuple(query_points), runs=runs)

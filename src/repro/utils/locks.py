@@ -1,0 +1,161 @@
+"""Locking primitives shared by the concurrent engine and catalog store.
+
+Two small tools with one job each:
+
+:class:`KeyedMutex`
+    In-process striped locking: one mutex per *key*, created on first
+    use and dropped when the last holder releases, so disjoint keys
+    never contend and the registry stays bounded by the number of keys
+    currently being worked on (not the key history).
+
+:class:`FileLock`
+    Advisory inter-process lock on a sidecar file (``fcntl.flock``),
+    layered over an in-process re-entrant lock so the same lock path is
+    safe to take from many threads of one process *and* from many
+    processes at once.  On platforms without ``fcntl`` it degrades to
+    the in-process layer only (best-effort, like every advisory lock).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+try:  # POSIX only; the in-process layer still applies elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on non-POSIX
+    fcntl = None
+
+
+class KeyedMutex:
+    """One lock per key, with automatic cleanup.
+
+    ``with mutex(key):`` serializes holders of equal keys while holders
+    of different keys proceed concurrently.  Lock objects are created on
+    demand and removed when no thread holds or waits on them, so the
+    internal registry never grows with the history of keys seen.
+    """
+
+    def __init__(self):
+        self._guard = threading.Lock()
+        self._entries = {}  # key -> [lock, active holders + waiters]
+
+    def __call__(self, key):
+        return _KeyedMutexGuard(self, key)
+
+    def __len__(self) -> int:
+        """Number of keys currently locked or waited on."""
+        with self._guard:
+            return len(self._entries)
+
+    def _checkout(self, key):
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = [threading.Lock(), 0]
+            entry[1] += 1
+            return entry
+
+    def _checkin(self, key, entry) -> None:
+        with self._guard:
+            entry[1] -= 1
+            if entry[1] == 0:
+                self._entries.pop(key, None)
+
+
+class _KeyedMutexGuard:
+    """Context manager for one :class:`KeyedMutex` key."""
+
+    def __init__(self, mutex: KeyedMutex, key):
+        self._mutex = mutex
+        self._key = key
+        self._entry = None
+
+    def __enter__(self):
+        self._entry = self._mutex._checkout(self._key)
+        self._entry[0].acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        entry, self._entry = self._entry, None
+        entry[0].release()
+        self._mutex._checkin(self._key, entry)
+        return False
+
+
+class _PathEntry:
+    """Shared per-path state: the in-process lock plus the flock fd."""
+
+    __slots__ = ("rlock", "fd", "depth", "refs")
+
+    def __init__(self):
+        self.rlock = threading.RLock()
+        self.fd = None
+        self.depth = 0  # re-entrant acquisitions by the owning thread
+        self.refs = 0  # threads holding or waiting on this entry
+
+
+_PATH_GUARD = threading.Lock()
+_PATH_ENTRIES: dict = {}  # absolute path -> _PathEntry
+
+
+class FileLock:
+    """Advisory exclusive lock on ``path`` (created if absent).
+
+    Safe across processes (``flock``) and across threads of one process
+    (a shared per-path re-entrant lock — two ``FileLock`` instances on
+    the same path exclude each other's threads, and the same thread may
+    nest acquisitions of the same path freely, which ``flock`` alone
+    would self-deadlock on).  Use as a context manager::
+
+        with FileLock(os.path.join(shard_dir, ".lock")):
+            ...read-modify-write...
+    """
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(str(path))
+
+    def __enter__(self):
+        with _PATH_GUARD:
+            entry = _PATH_ENTRIES.get(self.path)
+            if entry is None:
+                entry = _PATH_ENTRIES[self.path] = _PathEntry()
+            entry.refs += 1
+        entry.rlock.acquire()
+        # Only the holding thread reaches here; depth tracks re-entry so
+        # the process-level flock is taken exactly once per path.
+        entry.depth += 1
+        if entry.depth == 1 and fcntl is not None:
+            try:
+                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+                fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            except OSError:
+                # Unlockable location (read-only store, exotic fs): fall
+                # back to in-process exclusion only — advisory locking
+                # must never turn a working store into a failing one.
+                fd = None
+            if fd is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - fs without flock
+                    os.close(fd)
+                    fd = None
+            entry.fd = fd
+        self._entry = entry
+        return self
+
+    def __exit__(self, *exc_info):
+        entry = self._entry
+        entry.depth -= 1
+        if entry.depth == 0 and entry.fd is not None:
+            try:
+                os.close(entry.fd)  # closing releases the flock
+            except OSError:  # pragma: no cover - double close cannot happen
+                pass
+            entry.fd = None
+        entry.rlock.release()
+        with _PATH_GUARD:
+            entry.refs -= 1
+            if entry.refs == 0:
+                _PATH_ENTRIES.pop(self.path, None)
+        return False

@@ -1,9 +1,9 @@
 """A small bounded mapping with least-recently-used eviction.
 
-Shared by the serving engine's prepared-candidate cache and the
-catalog's streaming stats pass, so the eviction policy (dict insertion
-order as recency, refresh on read, evict the oldest at capacity) exists
-exactly once.
+Shared by the serving engine's prepared-candidate cache, its result
+cache, and the catalog's streaming stats pass, so the eviction policy
+(dict insertion order as recency, refresh on read, evict the oldest at
+capacity) exists exactly once.
 """
 
 from __future__ import annotations
@@ -13,15 +13,26 @@ class LruDict:
     """Mapping bounded to ``capacity`` entries, LRU-evicted.
 
     Reads refresh recency; putting a new key at capacity evicts the
-    least recently touched entry.  ``capacity=None`` disables eviction
-    (an ordinary dict with recency tracking).
+    least recently touched entry.  ``capacity=None`` disables entry
+    counting (an ordinary dict with recency tracking).
+
+    ``max_bytes`` adds an independent size budget: every :meth:`put`
+    may carry a ``size`` (the entry's cost in bytes), and entries are
+    evicted oldest-first until the total cost fits the budget.  An entry
+    whose own size exceeds the budget is not stored at all — admitting
+    it would evict the entire cache and still not fit.
     """
 
-    def __init__(self, capacity: int = None):
+    def __init__(self, capacity: int = None, max_bytes: int = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._entries = {}  # insertion order = recency (moved on touch)
+        self._sizes = {}
+        self.total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -37,12 +48,30 @@ class LruDict:
         self._entries[key] = value
         return value
 
-    def put(self, key, value) -> None:
-        self._entries.pop(key, None)
+    def put(self, key, value, size: int = 0) -> bool:
+        """Insert ``key``; returns ``False`` when the entry alone
+        overflows ``max_bytes`` and was therefore not stored (an
+        existing value under ``key`` is left untouched — a hopeless
+        insert must not destroy data either)."""
+        if self.max_bytes is not None and size > self.max_bytes:
+            return False
+        self._evict_key(key)
         if self.capacity is not None and len(self._entries) >= self.capacity:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            self._evict_key(next(iter(self._entries)))
+        if self.max_bytes is not None:
+            while self._entries and self.total_bytes + size > self.max_bytes:
+                self._evict_key(next(iter(self._entries)))
         self._entries[key] = value
+        if size:
+            self._sizes[key] = size
+            self.total_bytes += size
+        return True
+
+    def _evict_key(self, key) -> None:
+        self._entries.pop(key, None)
+        self.total_bytes -= self._sizes.pop(key, 0)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sizes.clear()
+        self.total_bytes = 0

@@ -1,0 +1,271 @@
+"""The engine-level result cache: exact replays of recorded runs."""
+
+import pytest
+
+from repro.api import CancellationToken, DiscoveryEngine, DiscoveryRequest
+from repro.core.config import MetamConfig
+from repro.data import clustering_scenario
+from repro.dataframe.table import Table
+
+CACHE_BYTES = 8 << 20
+
+#: The clustering scenario's task, expressed as a registry name — only
+#: name-based tasks have a canonical identity, so only they are
+#: cacheable.
+TASK_OPTIONS = {
+    "score_column": "satiety_score",
+    "n_clusters": 3,
+    "exclude_columns": ("ingredient_id",),
+    "seed": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return clustering_scenario(seed=0)
+
+
+def request_for(scenario, **overrides):
+    fields = dict(
+        base=scenario.base,
+        task="clustering",
+        task_options=dict(TASK_OPTIONS),
+        searcher="metam",
+        config=MetamConfig(theta=0.6, query_budget=25, epsilon=0.1, seed=0),
+    )
+    fields.update(overrides)
+    return DiscoveryRequest(**fields)
+
+
+def seeded(scenario, seed):
+    return request_for(
+        scenario,
+        seed=seed,
+        config=MetamConfig(theta=0.6, query_budget=25, epsilon=0.1, seed=seed),
+    )
+
+
+def cached_engine(scenario, **overrides):
+    options = dict(corpus=scenario.corpus, result_cache_bytes=CACHE_BYTES)
+    options.update(overrides)
+    return DiscoveryEngine(**options)
+
+
+class TestHits:
+    def test_identical_request_replays(self, scenario):
+        engine = cached_engine(scenario)
+        first = engine.discover(request_for(scenario))
+        second = engine.discover(request_for(scenario))
+        assert not first.cached
+        assert second.cached
+        assert second.run_id != first.run_id
+        assert second.result.selected == first.result.selected
+        assert second.result.trace == first.result.trace
+        assert second.result.utility == first.result.utility
+        # Replays carry the recorded events and timings.
+        assert [e.kind for e in second.events] == [e.kind for e in first.events]
+        assert second.search_seconds == first.search_seconds
+        stats = engine.stats()
+        assert stats["result_cache_hits"] == 1
+        assert stats["result_cache_entries"] == 1
+        assert stats["result_cache_bytes"] > 0
+        assert stats["runs_started"] == 2
+        assert stats["runs_completed"] == 2
+        assert stats["queries_served"] == 2 * first.result.queries
+
+    def test_replay_streams_recorded_events(self, scenario):
+        engine = cached_engine(scenario)
+        first = engine.discover(request_for(scenario))
+        seen = []
+        second = engine.discover(request_for(scenario), progress=seen.append)
+        assert second.cached
+        assert seen == first.events
+
+    def test_record_marks_cached(self, scenario):
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        record = engine.discover(request_for(scenario)).to_record()
+        assert record["cached"] is True
+
+    def test_replay_matches_uncached_engine(self, scenario):
+        plain = DiscoveryEngine(corpus=scenario.corpus)
+        reference = plain.discover(request_for(scenario))
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        replay = engine.discover(request_for(scenario))
+        assert replay.result.selected == reference.result.selected
+        assert replay.result.trace == reference.result.trace
+
+    def test_different_requests_miss(self, scenario):
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        other = engine.discover(seeded(scenario, seed=1))
+        assert not other.cached
+        assert engine.stats()["result_cache_hits"] == 0
+        assert engine.stats()["result_cache_entries"] == 2
+
+
+class TestBypasses:
+    def test_disabled_by_default(self, scenario):
+        engine = DiscoveryEngine(corpus=scenario.corpus)
+        engine.discover(request_for(scenario))
+        second = engine.discover(request_for(scenario))
+        assert not second.cached
+        assert engine.stats()["result_cache_hits"] == 0
+
+    def test_supplied_candidates_bypass(self, scenario):
+        engine = cached_engine(scenario)
+        candidates = engine.prepare(scenario.base, seed=0)
+        request = request_for(scenario, candidates=candidates)
+        engine.discover(request)
+        assert not engine.discover(request).cached
+
+    def test_task_objects_bypass(self, scenario):
+        # A live task object has no canonical identity.
+        request = request_for(scenario, task=scenario.task, task_options={})
+        assert request.cache_descriptor() is None
+        engine = cached_engine(scenario)
+        engine.discover(request)
+        assert not engine.discover(request).cached
+
+    def test_non_canonical_options_bypass(self, scenario):
+        request = request_for(scenario, options={"callback": object()})
+        assert request.cache_descriptor() is None
+
+    def test_pre_cancelled_token_bypasses_cache(self, scenario):
+        # A cancelled token must yield a cancelled run even when an
+        # identical completed run is recorded — never a happy replay.
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        token = CancellationToken()
+        token.cancel()
+        run = engine.discover(request_for(scenario), cancel=token)
+        assert run.cancelled
+        assert not run.cached
+
+    def test_cancelled_runs_not_cached(self, scenario):
+        engine = cached_engine(scenario)
+        token = CancellationToken()
+        token.cancel()
+        run = engine.discover(request_for(scenario), cancel=token)
+        assert run.cancelled
+        assert engine.stats()["result_cache_entries"] == 0
+
+
+class TestInvalidation:
+    def test_attach_corpus_clears(self, scenario):
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        assert engine.stats()["result_cache_entries"] == 1
+        engine.attach_corpus(scenario.corpus)
+        assert engine.stats()["result_cache_entries"] == 0
+        assert not engine.discover(request_for(scenario)).cached
+
+    def test_mid_run_corpus_swap_cannot_serve_stale_replay(self, scenario):
+        """A run in flight across an ``attach_corpus`` lands under the
+        superseded corpus epoch — requests against the new corpus can
+        never replay it."""
+        engine = cached_engine(scenario)
+
+        def invalidate_mid_run(event):
+            if event.kind == "query-issued" and event.query_index == 1:
+                engine.attach_corpus(scenario.corpus)
+
+        run = engine.discover(
+            request_for(scenario), progress=invalidate_mid_run
+        )
+        assert run.completed
+        follow_up = engine.discover(request_for(scenario))
+        assert not follow_up.cached  # old-epoch entry is unreachable
+        assert engine.discover(request_for(scenario)).cached  # new epoch
+
+    def test_catalog_content_change_clears(self, scenario, tmp_path):
+        from repro.catalog import Catalog
+
+        catalog = Catalog.open(str(tmp_path / "cat"))
+        engine = DiscoveryEngine(
+            corpus=scenario.corpus,
+            catalog=catalog,
+            result_cache_bytes=CACHE_BYTES,
+        )
+        engine.discover(request_for(scenario))
+        assert engine.stats()["result_cache_entries"] == 1
+        # Another writer grew the catalog behind the engine's back; the
+        # next *prepare* (a new key, so the prepared-candidate cache
+        # does not short-circuit it) observes the changed diff and must
+        # drop every recorded result.
+        catalog.add(Table("foreign_t", {"k": ["a", "b"], "v": [1, 2]}))
+        engine.discover(seeded(scenario, seed=1))
+        entries = engine.stats()["result_cache_entries"]
+        assert entries == 1  # seed-1 run recorded after the wipe
+        assert not engine.discover(request_for(scenario)).cached
+
+    def test_out_of_band_catalog_mutation_blocks_identical_replay(
+        self, scenario, tmp_path
+    ):
+        """Mutating the public catalog directly must make even the
+        *identical* request miss — the mutation count is part of the
+        cache key, so no prepare needs to run for staleness to show."""
+        from repro.catalog import Catalog
+
+        catalog = Catalog.open(str(tmp_path / "cat"))
+        engine = DiscoveryEngine(
+            corpus=scenario.corpus,
+            catalog=catalog,
+            result_cache_bytes=CACHE_BYTES,
+        )
+        engine.discover(request_for(scenario))
+        assert engine.discover(request_for(scenario)).cached
+        catalog.add(Table("foreign_t", {"k": ["a", "b"], "v": [1, 2]}))
+        assert not engine.discover(request_for(scenario)).cached
+
+    def test_searcher_reregistration_blocks_replay(self, scenario):
+        """Replacing a searcher factory under the same name must not
+        replay runs recorded under the old factory."""
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+        assert engine.discover(request_for(scenario)).cached
+        original = engine.searchers.get("metam")
+        engine.searchers.register("metam", original, overwrite=True)
+        assert not engine.discover(request_for(scenario)).cached
+
+    def test_replay_progress_failure_counts_as_failed(self, scenario):
+        engine = cached_engine(scenario)
+        engine.discover(request_for(scenario))
+
+        def explode(event):
+            raise RuntimeError("progress bug")
+
+        with pytest.raises(RuntimeError, match="progress bug"):
+            engine.discover(request_for(scenario), progress=explode)
+        stats = engine.stats()
+        assert stats["runs_failed"] == 1
+        assert stats["runs_started"] == (
+            stats["runs_completed"]
+            + stats["runs_cancelled"]
+            + stats["runs_failed"]
+        )
+
+
+class TestBudget:
+    def test_oversized_run_not_stored(self, scenario):
+        engine = cached_engine(scenario, result_cache_bytes=64)
+        engine.discover(request_for(scenario))
+        assert engine.stats()["result_cache_entries"] == 0
+        assert not engine.discover(request_for(scenario)).cached
+
+    def test_budget_evicts_lru(self, scenario):
+        engine = cached_engine(scenario)
+        first = request_for(scenario)
+        engine.discover(first)
+        size = engine.stats()["result_cache_bytes"]
+        # Shrink the budget to just over one record: the next distinct
+        # request evicts the first.
+        engine._results.max_bytes = int(size * 1.5)
+        engine.discover(seeded(scenario, seed=1))
+        assert engine.stats()["result_cache_entries"] == 1
+        assert not engine.discover(first).cached  # evicted
+
+    def test_result_cache_bytes_validated(self, scenario):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiscoveryEngine(corpus=scenario.corpus, result_cache_bytes=-1)

@@ -139,6 +139,69 @@ class TestCommands:
         assert "12" in out
 
 
+class TestAsyncAndCancellation:
+    RUN_ARGS = [
+        "run", "clustering", "--budget", "20", "--theta", "0.6",
+        "--baselines", "uniform", "--no-chart",
+    ]
+
+    def test_async_flags_parse(self):
+        args = build_parser().parse_args(self.RUN_ARGS + ["--async", "--no-result-cache"])
+        assert args.use_async
+        assert args.no_result_cache
+        defaults = build_parser().parse_args(self.RUN_ARGS)
+        assert not defaults.use_async
+        assert not defaults.no_result_cache
+
+    def test_run_async_matches_sync_output(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        sync_out = capsys.readouterr().out
+        assert main(self.RUN_ARGS + ["--async"]) == 0
+        async_out = capsys.readouterr().out
+        # Concurrent serving is byte-identical: the printed comparison
+        # (curves, summaries) must match the sequential run exactly.
+        assert async_out == sync_out
+
+    @pytest.mark.parametrize("extra", [[], ["--async"]])
+    def test_cancelled_run_exits_nonzero(self, capsys, monkeypatch, extra):
+        # A run cancelled mid-flight must be distinguishable from
+        # success (previously both exited 0).
+        from repro.api import RunCancelled
+
+        def cancelled(*args, **kwargs):
+            raise RunCancelled("discovery run cancelled")
+
+        monkeypatch.setattr("repro.cli.compare_searchers", cancelled)
+        code = main(self.RUN_ARGS + extra)
+        assert code == 130
+        captured = capsys.readouterr()
+        assert "cancelled" in captured.err
+        assert "error" not in captured.out
+
+    def test_sigint_cancels_cooperatively(self):
+        import os
+        import signal
+
+        from repro.api import CancellationToken
+        from repro.cli import _cancel_on_sigint
+
+        token = CancellationToken()
+        restore = _cancel_on_sigint(token)
+        try:
+            os.kill(os.getpid(), signal.SIGINT)
+            # The handler fires the token instead of raising
+            # KeyboardInterrupt into the middle of a search.
+            assert token.cancelled
+            # A second Ctrl-C escalates: cancellation is cooperative
+            # and a long preparation won't observe it, so the user must
+            # always have a hard way out.
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                token.cancelled  # bytecode boundary so the signal lands
+        finally:
+            restore()
+
+
 class TestCatalogCommands:
     def test_build_update_stats_cycle(self, capsys, tmp_path):
         path = str(tmp_path / "cat")

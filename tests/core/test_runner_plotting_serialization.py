@@ -129,3 +129,44 @@ class TestRunner:
         scenario = sat_howto_scenario(seed=0, n_irrelevant=2, n_erroneous=1, n_traps=1)
         with pytest.raises(ValueError, match="iarda_target"):
             compare_searchers(scenario, baselines=("iarda",))
+
+
+class TestParallelAndCancellation:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return sat_howto_scenario(
+            seed=0, n_irrelevant=4, n_erroneous=2, n_traps=2
+        )
+
+    def test_parallel_matches_sequential(self, scenario):
+        kwargs = dict(
+            budget=60,
+            seeds=(0,),
+            baselines=("uniform",),
+            query_points=(10, 30, 60),
+        )
+        sequential = compare_searchers(scenario, **kwargs)
+        parallel = compare_searchers(scenario, parallel=True, **kwargs)
+        assert parallel.curves == sequential.curves
+        assert parallel.final == sequential.final
+        for name in sequential.runs[0]:
+            assert (
+                parallel.runs[0][name].trace == sequential.runs[0][name].trace
+            )
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_cancelled_comparison_raises(self, scenario, parallel):
+        from repro.api import CancellationToken, RunCancelled
+
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(RunCancelled):
+            compare_searchers(
+                scenario,
+                budget=60,
+                seeds=(0,),
+                baselines=("uniform",),
+                query_points=(10, 30, 60),
+                parallel=parallel,
+                cancel=token,
+            )

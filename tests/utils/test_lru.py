@@ -47,3 +47,62 @@ class TestLruDict:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
             LruDict(capacity=0)
+
+
+class TestByteBudget:
+    def test_budget_evicts_oldest_first(self):
+        lru = LruDict(max_bytes=100)
+        assert lru.put("a", 1, size=40)
+        assert lru.put("b", 2, size=40)
+        assert lru.put("c", 3, size=40)  # evicts a (40+40+40 > 100)
+        assert "a" not in lru
+        assert "b" in lru and "c" in lru
+        assert lru.total_bytes == 80
+
+    def test_recency_protects_under_budget_pressure(self):
+        lru = LruDict(max_bytes=100)
+        lru.put("a", 1, size=40)
+        lru.put("b", 2, size=40)
+        assert lru.get("a") == 1  # refresh a
+        lru.put("c", 3, size=40)  # evicts b, the least recent
+        assert "a" in lru and "c" in lru
+        assert "b" not in lru
+
+    def test_oversized_entry_rejected(self):
+        lru = LruDict(max_bytes=50)
+        lru.put("a", 1, size=30)
+        assert not lru.put("big", 2, size=51)
+        assert "big" not in lru
+        assert "a" in lru  # nothing was evicted for a hopeless insert
+        assert lru.total_bytes == 30
+        # A rejected oversized update leaves the old value in place.
+        assert not lru.put("a", 99, size=51)
+        assert lru.get("a") == 1
+        assert lru.total_bytes == 30
+
+    def test_overwrite_replaces_size(self):
+        lru = LruDict(max_bytes=100)
+        lru.put("a", 1, size=60)
+        lru.put("a", 2, size=20)
+        assert lru.total_bytes == 20
+        assert lru.get("a") == 2
+
+    def test_clear_resets_bytes(self):
+        lru = LruDict(max_bytes=100)
+        lru.put("a", 1, size=60)
+        lru.clear()
+        assert lru.total_bytes == 0
+        assert lru.put("b", 2, size=100)
+
+    def test_capacity_and_bytes_compose(self):
+        lru = LruDict(capacity=2, max_bytes=100)
+        lru.put("a", 1, size=10)
+        lru.put("b", 2, size=10)
+        lru.put("c", 3, size=10)  # capacity bound evicts a
+        assert len(lru) == 2
+        assert "a" not in lru
+        assert lru.total_bytes == 20
+
+    def test_invalid_max_bytes(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            LruDict(max_bytes=0)
