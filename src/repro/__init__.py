@@ -24,13 +24,13 @@ from repro.api import (
     DiscoveryRequest,
     DiscoveryRun,
 )
-from repro.catalog import Catalog, CatalogStore
+from repro.catalog import Catalog, CatalogRefresher, CatalogSnapshot, CatalogStore
 from repro.core.config import MetamConfig
 from repro.core.metam import Metam
 from repro.core.result import SearchResult
 from repro.pipeline import prepare_candidates, run_baseline, run_metam
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DiscoveryEngine",
@@ -39,6 +39,8 @@ __all__ = [
     "CandidateSpec",
     "CancellationToken",
     "Catalog",
+    "CatalogRefresher",
+    "CatalogSnapshot",
     "CatalogStore",
     "MetamConfig",
     "Metam",

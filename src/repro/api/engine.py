@@ -26,7 +26,19 @@ so N callers can serve requests against one warm engine concurrently
 bounded worker pool and returns a
 :class:`~repro.api.futures.DiscoveryFuture` immediately.  An optional
 result cache (``result_cache_bytes``) serves repeated identical requests
-from their recorded runs without re-searching.
+from their recorded runs without re-searching; with
+``persist_results=True`` (and a store-backed catalog) completed run
+records additionally spill into the catalog store under content-
+addressed keys, so repeated requests warm-start across processes and
+survive restarts.  Submitting an identical cacheable request while one
+is already in flight *reserves* its cache slot: the follower waits for
+the owner and replays the recorded run instead of searching twice.
+
+A :class:`~repro.catalog.CatalogRefresher` can be attached
+(:meth:`attach_refresher`): the engine then swaps the refresher's
+published :class:`~repro.catalog.CatalogSnapshot` in atomically between
+requests — reads never block on background maintenance — and a
+``staleness_budget`` bounds how old a served snapshot may be.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+import weakref
 from dataclasses import replace
 
 from repro.api.events import (
@@ -57,8 +70,14 @@ from repro.api.futures import DiscoveryFuture
 from repro.api.request import CandidateSpec, DiscoveryRequest
 from repro.api.run import DiscoveryRun
 from repro.catalog import Catalog
-from repro.catalog.fingerprint import registry_fingerprint, table_fingerprint
-from repro.dataframe.table import Table
+from repro.catalog.fingerprint import (
+    config_fingerprint,
+    corpus_fingerprint,
+    registry_fingerprint,
+    result_key,
+    table_fingerprint,
+)
+from repro.dataframe.table import Table, normalize_corpus
 from repro.discovery.candidates import (
     Candidate,
     generate_candidates,
@@ -118,6 +137,25 @@ class DiscoveryEngine:
         result, events, and timings — keyed by a canonical request
         fingerprint, and the cache is invalidated whenever the corpus
         or catalog content changes.
+    persist_results:
+        Add the result cache's on-disk tier: completed cacheable runs
+        spill their JSON records into the attached catalog's store,
+        keyed by a content-addressed request fingerprint (base table
+        content + registry + request descriptor + whole-corpus content
+        + catalog config + library version), so identical requests
+        replay across processes and restarts.  Where the in-memory tier
+        invalidates by in-process counters (corpus epoch, catalog
+        mutation count), the persistent tier's keys *embed* the content
+        those counters track — a changed corpus simply makes old
+        records unreachable, and reverting the content makes them valid
+        again.  Requires ``result_cache_bytes``; quietly inactive until
+        a store-backed catalog is attached.
+    refresher:
+        Optional :class:`~repro.catalog.CatalogRefresher` to adopt
+        snapshots from (see :meth:`attach_refresher`).
+    staleness_budget:
+        Default bound (seconds) on the age of the served snapshot when
+        a refresher is attached; ``None`` serves whatever is current.
     """
 
     def __init__(
@@ -132,6 +170,9 @@ class DiscoveryEngine:
         striped_prepare: bool = True,
         max_workers: int = 4,
         result_cache_bytes: int = None,
+        persist_results: bool = False,
+        refresher=None,
+        staleness_budget: float = None,
     ):
         try:
             prepared = LruDict(capacity=max_prepared_sets)
@@ -141,6 +182,11 @@ class DiscoveryEngine:
             ) from None
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if persist_results and not result_cache_bytes:
+            raise ValueError(
+                "persist_results requires result_cache_bytes (the on-disk "
+                "tier extends the result cache, it does not replace it)"
+            )
         self.catalog = catalog
         self.searchers = searchers if searchers is not None else default_searchers()
         self.tasks = tasks if tasks is not None else default_tasks()
@@ -166,6 +212,37 @@ class DiscoveryEngine:
             self._results = None  # disabled
         self.result_cache_bytes = result_cache_bytes
         self.result_cache_hits = 0
+        self.persist_results = bool(persist_results)
+        self.result_store_hits = 0
+        #: In-flight reservations of result-cache slots: cache-key prefix
+        #: -> threading.Event set when the owning submitted run resolves
+        #: (completes, fails, or is cancelled while still queued).
+        self._reservations = {}
+        self._refresher = None
+        self._staleness_budget = (
+            float(staleness_budget) if staleness_budget is not None else None
+        )
+        self._snapshot_epoch = 0  # epoch of the adopted refresher snapshot
+        self.last_sync_staleness = None
+        #: Single-slot memo of the corpus-content digest, keyed by the
+        #: corpus dict's identity (corpora are replaced, never mutated).
+        self._corpus_fp_memo = None
+        #: Table-content digests memoized by object *identity* (Tables
+        #: are immutable by library convention and unhashable, so this
+        #: maps ``id(table)`` with a weakref that both guards against id
+        #: reuse and evicts dead entries).  The cache key of a request
+        #: then hashes its base table once per object — not once per
+        #: submit, once per discover, and once per corpus scan.
+        #: Registry fingerprints are deliberately NOT memoized:
+        #: ProfileRegistry mutates in place (``add``/``remove``), and a
+        #: stale digest would replay runs recorded under the old
+        #: profile set.
+        self._table_fp_memo = {}
+        #: Registry mutation counts at construction: the persistent
+        #: result tier stays active only while they are unchanged (a
+        #: factory re-registered mid-life has no content identity the
+        #: on-disk keys could carry, so the tier goes conservative).
+        self._registry_baseline = (self.searchers.mutations, self.tasks.mutations)
         self._next_run_id = 1
         self.runs_started = 0
         self.runs_completed = 0
@@ -174,6 +251,8 @@ class DiscoveryEngine:
         self.queries_served = 0
         if corpus is not None:
             self.attach_corpus(corpus)
+        if refresher is not None:
+            self.attach_refresher(refresher, staleness_budget=staleness_budget)
 
     # ------------------------------------------------------------------
     # Construction / state
@@ -202,20 +281,86 @@ class DiscoveryEngine:
         Replacing the corpus drops the prepared-candidate cache — cached
         candidate sets are only valid for the corpus they were built on.
         """
-        tables = corpus.values() if isinstance(corpus, dict) else corpus
-        normalized = {}
-        for table in tables:
-            if not isinstance(table, Table):
-                raise TypeError(f"corpus entries must be Tables, got {table!r}")
-            if table.name in normalized and normalized[table.name] is not table:
-                raise ValueError(f"duplicate table name {table.name!r} in corpus")
-            normalized[table.name] = table
+        normalized = normalize_corpus(corpus)
         with self._lock:
             self._corpus = normalized
             self._corpus_epoch += 1
             self._prepared.clear()
+            # Drop the content-digest memo too: it pins the previous
+            # corpus dict (and every Table in it) otherwise.
+            self._corpus_fp_memo = None
             self._invalidate_results()
         return self
+
+    def attach_refresher(self, refresher, staleness_budget: float = None) -> "DiscoveryEngine":
+        """Adopt snapshots from a :class:`~repro.catalog.CatalogRefresher`.
+
+        From now on every request first swaps in the refresher's latest
+        published :class:`~repro.catalog.CatalogSnapshot` (corpus +
+        hydrated catalog together, atomically, between requests — an
+        in-flight run keeps the snapshot it started with).
+        ``staleness_budget`` (default: the refresher's own) bounds how
+        old the served snapshot may be; exceeding it forces one
+        synchronous refresh before serving.  The engine does not own the
+        refresher's lifecycle — start/stop it yourself (or use it as a
+        context manager).  Returns ``self``; the initial snapshot is
+        adopted immediately (running a first cycle if none exists yet).
+        """
+        self._refresher = refresher
+        # A different refresher numbers its epochs from 1 again; reset
+        # so its first snapshot is always adopted.
+        self._snapshot_epoch = 0
+        if staleness_budget is not None:
+            self._staleness_budget = float(staleness_budget)
+        elif refresher.staleness_budget is not None:
+            self._staleness_budget = refresher.staleness_budget
+        self._sync_snapshot()
+        return self
+
+    def _sync_snapshot(self, staleness_budget: float = None) -> None:
+        """Swap in the refresher's current snapshot if it is newer than
+        the one being served (no-op without a refresher).
+
+        Runs at request boundaries only, so the swap is atomic from any
+        run's point of view: corpus, catalog, and the caches keyed on
+        them change together under the engine locks, and runs already
+        executing keep their own corpus/catalog snapshot to the end.
+        """
+        refresher = self._refresher
+        if refresher is None:
+            return
+        budget = (
+            staleness_budget
+            if staleness_budget is not None
+            else self._staleness_budget
+        )
+        snapshot = refresher.ensure_fresh(budget)
+        self.last_sync_staleness = refresher.staleness()
+        # <= not ==: a request that raced a background cycle may hold an
+        # *older* snapshot than one a concurrent request just adopted —
+        # installing it would regress the served corpus.
+        if snapshot is None or snapshot.epoch <= self._snapshot_epoch:
+            return
+        # Same nesting order as the prepare path (catalog lock outside
+        # the engine lock) — never the reverse, which would deadlock
+        # against a prepare invalidating the result cache.
+        with self._catalog_lock:
+            with self._lock:
+                if snapshot.epoch <= self._snapshot_epoch:
+                    return
+                self._snapshot_epoch = snapshot.epoch
+                self.catalog = snapshot.catalog
+                self._corpus = dict(snapshot.corpus)
+                self._corpus_epoch += 1
+                self._prepared.clear()
+                if self._results is not None:
+                    self._results.clear()
+                # Seed the content-digest memo from the refresher's scan
+                # — the swap costs no re-fingerprinting.
+                self._corpus_fp_memo = (
+                    self._corpus,
+                    corpus_fingerprint(snapshot.fingerprints),
+                )
 
     def shutdown(self, wait: bool = True) -> None:
         """Drain the async worker pool (no-op when none was created).
@@ -271,6 +416,7 @@ class DiscoveryEngine:
         parallel (catalog mutations are serialized internally, and the
         catalog store's own writes are concurrency-safe).
         """
+        self._sync_snapshot()
         candidates, _from_cache, _corpus = self._prepare_cached(
             base, spec, registry, seed
         )
@@ -296,7 +442,7 @@ class DiscoveryEngine:
         spec = spec or CandidateSpec()
         registry = registry if registry is not None else self.profile_registry()
         key = (
-            base_fingerprint or table_fingerprint(base),
+            base_fingerprint or self._fingerprint_table(base),
             spec,
             int(seed),
             registry_fp or registry_fingerprint(registry),
@@ -420,6 +566,7 @@ class DiscoveryEngine:
         request: DiscoveryRequest,
         progress=None,
         cancel: CancellationToken = None,
+        staleness_budget: float = None,
     ) -> DiscoveryRun:
         """Serve one request; returns the completed :class:`DiscoveryRun`.
 
@@ -427,16 +574,21 @@ class DiscoveryEngine:
         :class:`~repro.api.events.RunEvent`) streams every event as it
         happens; ``cancel`` stops the run cooperatively at its next
         utility query (the run then finishes with status
-        ``"cancelled"`` and ``result=None``).
+        ``"cancelled"`` and ``result=None``).  ``staleness_budget``
+        overrides the engine's default bound on snapshot age for this
+        request (only meaningful with a refresher attached).
 
         With the result cache enabled, a request identical to a
         previously completed one is served as an exact replay: the
         recorded run comes back under a fresh ``run_id`` with
         ``cached=True``, and its recorded events are re-streamed to
-        ``progress`` (they carry the original run's id).
+        ``progress`` (they carry the original run's id).  With
+        ``persist_results``, a record spilled by an earlier process is
+        replayed the same way (and re-admitted to the in-memory tier).
         """
         task = self._resolve_task(request)
         factory = self.searchers.get(request.searcher)  # fail before any work
+        self._sync_snapshot(staleness_budget)
         self.corpus  # fail fast when none is attached
         cache_key = self._result_cache_key(request)
         if cancel is not None and cancel.cancelled:
@@ -445,46 +597,28 @@ class DiscoveryEngine:
             # (the run stops at its first utility query, as ever).
             cache_key = None
         if cache_key is not None:
-            hit = None
             with self._lock:
                 # Lookup under the *current* catalog mutation count:
                 # out-of-band catalog changes (engine.catalog.add/...)
                 # shift the count and make older entries unreachable.
                 hit = self._results.get(cache_key + (self._catalog_mutations(),))
-                if hit is not None:
-                    run_id = self._next_run_id
-                    self._next_run_id += 1
-                    self.runs_started += 1
             if hit is not None:
-                try:
-                    if progress is not None:
-                        for event in hit.events:
-                            progress(event)
-                except BaseException:
-                    # A progress callback bug during a replay still
-                    # balances the books, exactly like a live run's.
-                    with self._lock:
-                        self.runs_failed += 1
-                    raise
+                return self._replay(hit, request, progress)
+            stored = self._load_persistent(cache_key, request)
+            if stored is not None:
+                run, size = stored
                 with self._lock:
-                    self.runs_completed += 1
-                    self.result_cache_hits += 1
-                    # The replayed result's queries count as served:
-                    # accounting stays comparable whether a run executed
-                    # or replayed.
-                    self.queries_served += hit.queries
-                return replace(
-                    hit,
-                    run_id=run_id,
-                    request=request,
-                    events=list(hit.events),
-                    cached=True,
-                )
+                    # Re-admit to the in-memory tier under the current
+                    # counters, so the next identical request skips disk.
+                    self._results.put(
+                        cache_key + (self._catalog_mutations(),), run, size=size
+                    )
+                return self._replay(run, request, progress, tier="store")
         with self._lock:
             run_id = self._next_run_id
             self._next_run_id += 1
             self.runs_started += 1
-        mutations_box = [] if cache_key is not None else None
+        context_box = [] if cache_key is not None else None
         try:
             run = self._serve(
                 request,
@@ -498,7 +632,7 @@ class DiscoveryEngine:
                 # hashes each input once, not twice.
                 base_fingerprint=cache_key[0] if cache_key else None,
                 registry_fp=cache_key[1] if cache_key else None,
-                mutations_box=mutations_box,
+                context_box=context_box,
             )
         except BaseException:
             # Anything that escapes (bad searcher options, a task that
@@ -506,7 +640,7 @@ class DiscoveryEngine:
             with self._lock:
                 self.runs_failed += 1
             raise
-        if cache_key is not None and run.completed and mutations_box:
+        if cache_key is not None and run.completed and context_box:
             # Size by the JSON run record — the serializable footprint
             # the LRU budget is defined over (computed outside the lock).
             # The key embeds the corpus epoch this run was requested
@@ -517,18 +651,53 @@ class DiscoveryEngine:
             # the run's own catalog refresh) and before its search (a
             # catalog mutated mid-search leaves the entry under the
             # older, unreachable count).
-            size = len(json.dumps(run.to_record()).encode("utf-8"))
+            record = run.to_record()
+            size = len(json.dumps(record).encode("utf-8"))
+            mutations, corpus_used = context_box[0]
             with self._lock:
-                self._results.put(
-                    cache_key + (mutations_box[0],), run, size=size
-                )
+                self._results.put(cache_key + (mutations,), run, size=size)
+            self._spill_persistent(cache_key, record, corpus_used)
         return run
+
+    def _replay(self, hit: DiscoveryRun, request, progress, tier="memory"):
+        """Serve a recorded run as an exact replay (fresh ``run_id``,
+        ``cached=True``, recorded events re-streamed to ``progress``)."""
+        with self._lock:
+            run_id = self._next_run_id
+            self._next_run_id += 1
+            self.runs_started += 1
+        try:
+            if progress is not None:
+                for event in hit.events:
+                    progress(event)
+        except BaseException:
+            # A progress callback bug during a replay still balances the
+            # books, exactly like a live run's.
+            with self._lock:
+                self.runs_failed += 1
+            raise
+        with self._lock:
+            self.runs_completed += 1
+            self.result_cache_hits += 1
+            if tier == "store":
+                self.result_store_hits += 1
+            # The replayed result's queries count as served: accounting
+            # stays comparable whether a run executed or replayed.
+            self.queries_served += hit.queries
+        return replace(
+            hit,
+            run_id=run_id,
+            request=request,
+            events=list(hit.events),
+            cached=True,
+        )
 
     def submit(
         self,
         request: DiscoveryRequest,
         progress=None,
         cancel: CancellationToken = None,
+        staleness_budget: float = None,
     ) -> DiscoveryFuture:
         """Non-blocking :meth:`discover`: returns immediately.
 
@@ -539,16 +708,98 @@ class DiscoveryEngine:
         records.  The returned :class:`DiscoveryFuture` owns the run's
         cancellation token (``cancel`` to supply your own), so queued
         runs can be dropped and executing runs stopped cooperatively.
+
+        A cacheable request *reserves* its result-cache slot while in
+        flight: an identical request submitted meanwhile waits for the
+        owner to resolve and then replays the recorded run instead of
+        executing the same search twice.  The reservation is released
+        when the owning future resolves — including a future cancelled
+        while still queued (its run never executes, so the release rides
+        the future's done callback; anything else would leak the slot
+        until shutdown and leave followers waiting forever).
         """
         token = cancel if cancel is not None else CancellationToken()
+        # Computed on the submitting thread because the reservation must
+        # exist before this call returns; the fingerprints it needs are
+        # memoized by object identity, so the worker's own key
+        # computation inside discover() reuses them instead of hashing
+        # the base table a second time.
+        reservation_key = self._result_cache_key(request)
+        owner_event = None
+        wait_for = None
+
+        def _follow():
+            # By the time the owner resolves its record is admitted (or
+            # it failed/cancelled, in which case this executes a normal
+            # run) — either way a plain discover is correct.
+            wait_for.wait()
+            return self.discover(request, progress, token, staleness_budget)
+
+        # Reservation registration and enqueueing happen under ONE lock
+        # acquisition: a follower can only observe a reservation whose
+        # owner is already ahead of it in the pool's FIFO queue, so a
+        # follower can never occupy the last worker while its owner
+        # waits behind it.  Holding the lock across submit also means a
+        # racing shutdown() either drains this run or never sees it.
         with self._lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-engine",
                 )
-            future = self._executor.submit(self.discover, request, progress, token)
+            if reservation_key is not None:
+                existing = self._reservations.get(reservation_key)
+                if existing is None:
+                    owner_event = threading.Event()
+                    self._reservations[reservation_key] = owner_event
+                else:
+                    wait_for = existing
+            if wait_for is not None:
+                future = self._executor.submit(_follow)
+            else:
+                future = self._executor.submit(
+                    self.discover, request, progress, token, staleness_budget
+                )
+        if owner_event is not None:
+            def _release(_inner, key=reservation_key, event=owner_event):
+                with self._lock:
+                    if self._reservations.get(key) is event:
+                        del self._reservations[key]
+                event.set()
+
+            # A done callback fires on completion, failure, *and*
+            # cancellation-while-queued — the one path where the run
+            # body never executes and an in-run release would leak.
+            future.add_done_callback(_release)
         return DiscoveryFuture(future, token, request)
+
+    def _memo_fingerprint(self, obj, memo: dict, compute) -> str:
+        """Identity-memoized content digest of an immutable object.
+
+        Entries are ``id(obj) -> (weakref, digest)``: the weakref check
+        guards against id reuse after the original object dies, and its
+        callback evicts the entry so the memo never outgrows the set of
+        live objects."""
+        key = id(obj)
+        with self._lock:
+            entry = memo.get(key)
+            if entry is not None and entry[0]() is obj:
+                return entry[1]
+        fingerprint = compute(obj)
+        try:
+            ref = weakref.ref(obj, lambda _r, key=key: memo.pop(key, None))
+        except TypeError:  # pragma: no cover - unweakrefable stub
+            return fingerprint
+        with self._lock:
+            memo[key] = (ref, fingerprint)
+        return fingerprint
+
+    def _fingerprint_table(self, table) -> str:
+        """Content fingerprint of ``table``, memoized by identity
+        (Tables are immutable by library convention)."""
+        return self._memo_fingerprint(
+            table, self._table_fp_memo, table_fingerprint
+        )
 
     def _catalog_mutations(self) -> int:
         """The attached catalog's structural mutation count (``-1``
@@ -581,7 +832,7 @@ class DiscoveryEngine:
         with self._lock:
             epoch = self._corpus_epoch
         return (
-            table_fingerprint(request.base),
+            self._fingerprint_table(request.base),
             registry_fingerprint(registry),
             descriptor,
             epoch,
@@ -592,14 +843,152 @@ class DiscoveryEngine:
         )
 
     def _invalidate_results(self) -> None:
-        """Drop every cached run (corpus or catalog content changed)."""
+        """Drop every cached run (corpus or catalog content changed).
+
+        Only the in-memory tier needs explicit clearing: persistent
+        records embed the content they were recorded under in their
+        keys, so changed content makes them unreachable by construction
+        (and reverting the content makes them valid again)."""
         with self._lock:
             if self._results is not None:
                 self._results.clear()
 
+    # ------------------------------------------------------------------
+    # Persistent result tier
+    # ------------------------------------------------------------------
+    def _persist_store(self):
+        """The catalog store backing the persistent result tier, or
+        ``None`` when the tier is inactive.
+
+        The tier also deactivates as soon as a searcher or task factory
+        is (re-)registered after construction: a live factory has no
+        content identity the on-disk keys could embed, so neither
+        replaying old records under it nor spilling its runs for other
+        processes is sound.  (Factories registered *before* engine
+        construction are part of the application's cross-process
+        contract, like the library version the keys do embed.  Catalog
+        content mutations, by contrast, need no counter here: the keys
+        embed the corpus content and catalog config, and candidate
+        preparation re-syncs the catalog to the corpus, so a replay
+        always matches what a live run would have produced.)"""
+        if not self.persist_results or self.catalog is None:
+            return None
+        if (
+            self.searchers.mutations,
+            self.tasks.mutations,
+        ) != self._registry_baseline:
+            return None
+        return self.catalog.store
+
+    def _corpus_content_fingerprint(self, corpus: dict):
+        """Content digest of ``corpus`` (a specific corpus dict, not
+        "whatever is attached right now" — the spill path stamps the
+        corpus a run actually used, even if a swap raced the search).
+
+        Memoized by dict identity: corpora are replaced wholesale, never
+        mutated, so one digest per attached corpus suffices.  Snapshot
+        swaps seed the memo from the refresher's scan; a manually
+        attached corpus pays one fingerprint pass on first use.
+        """
+        with self._lock:
+            memo = self._corpus_fp_memo
+        if memo is not None and memo[0] is corpus:
+            return memo[1]
+        fingerprints = {
+            name: self._fingerprint_table(table)
+            for name, table in corpus.items()
+        }
+        digest = corpus_fingerprint(fingerprints)
+        with self._lock:
+            if self._corpus is corpus:
+                self._corpus_fp_memo = (corpus, digest)
+        return digest
+
+    def _persistent_key(self, cache_key, corpus: dict):
+        """On-disk key for one cacheable request served over ``corpus``,
+        or ``None`` when the persistent tier is inactive."""
+        if self._persist_store() is None:
+            return None
+        from repro import __version__
+
+        with self._catalog_lock:
+            catalog_config = config_fingerprint(self.catalog.config)
+        return result_key(
+            cache_key[0],  # base-table content fingerprint
+            cache_key[1],  # profile-registry fingerprint
+            cache_key[2],  # canonical request descriptor
+            self._corpus_content_fingerprint(corpus),
+            catalog_config,
+            __version__,
+        )
+
+    def _load_persistent(self, cache_key, request):
+        """Replayable run from the on-disk tier, or ``None`` on a miss.
+
+        Returns ``(run, record size)``.  Malformed or foreign payloads
+        are treated as misses — persisted runs are a cache, damage
+        degrades to re-running."""
+        store = self._persist_store()
+        if store is None:
+            return None
+        with self._lock:
+            corpus = self._corpus
+        if corpus is None:
+            return None
+        key = self._persistent_key(cache_key, corpus)
+        if key is None:
+            return None
+        payload = store.read_result(key)
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            return None
+        record = payload.get("record")
+        try:
+            run = DiscoveryRun.from_record(record, request, run_id=0)
+        except (KeyError, ValueError, TypeError, AttributeError):
+            return None
+        if not run.completed:
+            return None
+        # Budget the in-memory admission by the stored file's size (the
+        # wrapper stamp adds a few bytes over the bare record — close
+        # enough for the LRU, and it skips re-serializing the payload
+        # we just parsed).
+        size = store.result_record_size(key) or len(
+            json.dumps(record).encode("utf-8")
+        )
+        return run, size
+
+    def _spill_persistent(self, cache_key, record: dict, corpus: dict) -> None:
+        """Best-effort write of one completed run record to the on-disk
+        tier (a failed spill degrades to a warning — persistence is an
+        optimization, never a serving failure)."""
+        store = self._persist_store()
+        if store is None:
+            return
+        key = self._persistent_key(cache_key, corpus)
+        if key is None:
+            return
+        try:
+            store.write_result(
+                key,
+                {
+                    "version": 1,
+                    "stamp": {
+                        "corpus": self._corpus_content_fingerprint(corpus),
+                        "tables": len(corpus),
+                    },
+                    "record": record,
+                },
+            )
+        except OSError as error:
+            import warnings
+
+            warnings.warn(
+                f"could not persist run record: {error}", stacklevel=2
+            )
+
     def _serve(
         self, request, task, factory, run_id, progress, cancel,
-        base_fingerprint=None, registry_fp=None, mutations_box=None,
+        base_fingerprint=None, registry_fp=None, context_box=None,
     ):
         events = []
 
@@ -642,12 +1031,15 @@ class DiscoveryEngine:
                 registry_fp=registry_fp,
             )
             source = "cache" if from_cache else "prepared"
-        if mutations_box is not None:
+        if context_box is not None:
             # Stamp the catalog state the run's inputs reflect *before*
             # the search: a catalog mutated while the search runs must
             # not get this run admitted under its post-mutation key.
+            # The corpus snapshot travels along so the persistent tier
+            # stamps the content this run *actually* searched, even if
+            # an attach_corpus or snapshot swap races the search.
             with self._catalog_lock:
-                mutations_box.append(self._catalog_mutations())
+                context_box.append((self._catalog_mutations(), corpus))
         prepare_seconds = time.perf_counter() - start
         emit(
             CandidatesPrepared(
@@ -752,6 +1144,7 @@ class DiscoveryEngine:
         pass; the stored config's seed applies); otherwise computed from
         the live corpus with a transient index seeded by ``seed``.
         """
+        self._sync_snapshot()
         if self.catalog is not None and self.catalog.store is not None:
             # The catalog-backed pass pages lazy index entries — shared
             # mutable state, serialized against concurrent prepares.
@@ -782,6 +1175,11 @@ class DiscoveryEngine:
                 "result_cache_bytes": (
                     self._results.total_bytes if self._results is not None else 0
                 ),
+                "result_cache_reserved": len(self._reservations),
+                "result_store_hits": self.result_store_hits,
+                "result_store_active": self._persist_store() is not None,
+                "snapshot_epoch": self._snapshot_epoch,
+                "refresher_attached": self._refresher is not None,
                 "corpus_tables": len(self._corpus) if self._corpus else 0,
                 "searchers": self.searchers.names(),
             }

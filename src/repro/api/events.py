@@ -123,3 +123,37 @@ class RunCompleted(RunEvent):
     utility: float
     queries: int
     seconds: float
+
+
+#: Concrete event classes by their ``kind`` tag (the inverse of
+#: :meth:`RunEvent.to_record`'s discriminator).
+EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (
+        RunStarted,
+        CandidatesPrepared,
+        QueryIssued,
+        AugmentationAccepted,
+        RoundCompleted,
+        RunCompleted,
+    )
+}
+
+
+def event_from_record(record: dict) -> RunEvent:
+    """Rebuild one event from its :meth:`RunEvent.to_record` form.
+
+    Raises ``ValueError`` on an unknown kind or mismatched fields — a
+    persisted run record from a future (or corrupt) store must fail the
+    reconstruction loudly, never half-build an event."""
+    if not isinstance(record, dict):
+        raise ValueError(f"event record must be a dict, got {type(record).__name__}")
+    kind = record.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    fields = {key: value for key, value in record.items() if key != "kind"}
+    try:
+        return cls(**fields)
+    except TypeError as error:
+        raise ValueError(f"bad {kind!r} event record: {error}") from error

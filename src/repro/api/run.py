@@ -10,9 +10,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.api.events import event_from_record
 from repro.api.request import DiscoveryRequest
 from repro.core.result import SearchResult
-from repro.core.serialization import result_to_dict
+from repro.core.serialization import result_from_dict, result_to_dict
 
 
 @dataclass
@@ -107,3 +108,33 @@ class DiscoveryRun:
         """Write the run record as JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_record(), handle, indent=2)
+
+    @classmethod
+    def from_record(
+        cls, record: dict, request: DiscoveryRequest, run_id: int
+    ) -> "DiscoveryRun":
+        """Rebuild a run from its :meth:`to_record` form.
+
+        The record describes (not embeds) the original request, so the
+        caller supplies the live ``request`` it matched against the
+        record's key — exactly like an in-memory replay, which also
+        pairs the recorded outcome with the fresh request object.
+        Raises ``ValueError``/``KeyError`` on malformed records; callers
+        treating persisted runs as a cache catch and re-run.
+        """
+        result = record.get("result")
+        return cls(
+            run_id=run_id,
+            request=request,
+            status=str(record["status"]),
+            result=result_from_dict(result) if result is not None else None,
+            events=[event_from_record(e) for e in record.get("events", [])],
+            n_candidates=int(record.get("n_candidates", 0)),
+            candidate_source=str(record.get("candidate_source", "prepared")),
+            prepare_seconds=float(
+                record.get("timings", {}).get("prepare_seconds", 0.0)
+            ),
+            search_seconds=float(
+                record.get("timings", {}).get("search_seconds", 0.0)
+            ),
+        )

@@ -39,11 +39,14 @@ Catalog-backed reports
 from repro.catalog.catalog import Catalog, CatalogDiff, ProfileCache
 from repro.catalog.fingerprint import (
     config_fingerprint,
+    corpus_fingerprint,
     profile_key,
     registry_fingerprint,
+    result_key,
     shard_of,
     table_fingerprint,
 )
+from repro.catalog.refresh import CatalogRefresher, CatalogSnapshot
 from repro.catalog.store import (
     CODECS,
     BinaryCodec,
@@ -56,6 +59,8 @@ from repro.catalog.store import (
 __all__ = [
     "Catalog",
     "CatalogDiff",
+    "CatalogRefresher",
+    "CatalogSnapshot",
     "ProfileCache",
     "CatalogStore",
     "CatalogStoreError",
@@ -65,7 +70,9 @@ __all__ = [
     "CODECS",
     "table_fingerprint",
     "config_fingerprint",
+    "corpus_fingerprint",
     "profile_key",
     "registry_fingerprint",
+    "result_key",
     "shard_of",
 ]

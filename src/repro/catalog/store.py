@@ -40,14 +40,37 @@ least-recently-used groups until the total fits the budget.
 Mutations are concurrency-safe across threads *and* processes: every
 shard-manifest update runs under a per-shard advisory file lock
 (``<shard>/.lock``) and follows an append-then-atomic-rename protocol —
-the delta is first appended to ``<shard>/manifest.log`` (one atomic
-``O_APPEND`` write), then compacted into a freshly renamed
+the delta (one or more records, appended as a single atomic ``O_APPEND``
+write, so multi-record updates can never tear apart) is first appended
+to ``<shard>/manifest.log``, then compacted into a freshly renamed
 ``manifest.json`` and the log cleared.  Readers replay the log over the
 base manifest, so a writer that dies between append and rename leaves a
 store that still reads back every completed update; the next writer
-finishes the compaction.  Data files stay safe without locks: objects
-are content-addressed and immutable, and every file lands via a unique
-temp file + rename.
+finishes the compaction.
+
+Deletions are first-class and follow the same protocol through a
+per-shard *tombstone log* (the ``tombstones`` section of the shard
+manifest): :meth:`delete_object` first appends ``{del objects, set
+tombstone}`` as one atomic record pair — the deletion intent is durable
+before any file disappears, and either prefix of the pair still reads
+consistent — then removes the data files under the shard lock, then
+compacts.  A deleter killed mid-protocol leaves a
+store that still verifies: the tombstone records what was meant to go,
+and :meth:`sweep_tombstones` (run by :meth:`gc`, or any later writer's
+compaction) finishes the removal.  :meth:`write_object` clears any
+tombstone for its fingerprint in the same atomic append that records
+the object, so concurrent ``build``/``update``/``gc`` processes can add
+*and* remove in any interleaving without resurrecting deleted objects
+or dropping live ones — the shard lock linearizes file + manifest
+transitions per shard.  Tombstones are bookkeeping, not a read barrier:
+compaction prunes entries older than ``tombstone_ttl`` so the section
+stays bounded.
+
+Data files stay safe: objects are content-addressed and immutable, and
+every file lands via a unique temp file + rename (object file writes
+and removals additionally run under the shard lock, so a delete can
+never interleave between a concurrent writer's data file landing and
+its manifest record).
 """
 
 from __future__ import annotations
@@ -387,22 +410,39 @@ class CatalogStore:
     every :meth:`write_profiles` evicts least-recently-touched profile
     groups until the section fits the budget (the group just written is
     never evicted).  ``None`` disables enforcement (evict on demand with
-    :meth:`evict_profiles`).
+    :meth:`evict_profiles`).  ``result_budget_bytes`` does the same for
+    the persisted run-record section (:meth:`write_result` /
+    :meth:`evict_results`).  ``tombstone_ttl`` bounds how long deletion
+    tombstones survive before compaction prunes them (seconds).
     """
 
     #: Per-shard delta journal (see the module docstring's protocol).
     LOG_NAME = "manifest.log"
     #: Advisory lock sidecar, one per locked directory.
     LOCK_NAME = ".lock"
+    #: Default retention of deletion tombstones (seconds): long enough
+    #: that any realistically concurrent writer has observed the
+    #: deletion, short enough that the section never grows with the
+    #: store's deletion history.
+    TOMBSTONE_TTL = 7 * 24 * 3600.0
 
-    def __init__(self, root: str, profile_budget_bytes: int = None):
+    def __init__(
+        self,
+        root: str,
+        profile_budget_bytes: int = None,
+        result_budget_bytes: int = None,
+        tombstone_ttl: float = TOMBSTONE_TTL,
+    ):
         self.root = str(root)
         self.profile_budget_bytes = profile_budget_bytes
+        self.result_budget_bytes = result_budget_bytes
+        self.tombstone_ttl = float(tombstone_ttl)
         #: Test seam: a callable invoked with a protocol point name
-        #: (``"shard-log-appended"``, ``"shard-manifest-compacted"``) at
-        #: the matching moment of every shard-manifest update.  Fault
-        #: tests raise (or ``os._exit``) from it to kill a writer
-        #: mid-protocol; ``None`` (the default) is free.
+        #: (``"shard-log-appended"``, ``"shard-manifest-compacted"``,
+        #: ``"object-files-removed"``) at the matching moment of every
+        #: shard-manifest update.  Fault tests raise (or ``os._exit``)
+        #: from it to kill a writer mid-protocol; ``None`` (the default)
+        #: is free.
         self.fault_hook = None
 
     def _fault(self, point: str) -> None:
@@ -567,21 +607,34 @@ class CatalogStore:
     def _update_shard_manifest(
         self, shard_dir: str, section: str, op: str, key: str, value=None
     ) -> None:
-        """Durably apply one ``set``/``del`` to a shard manifest section.
+        """Durably apply one ``set``/``del`` to a shard manifest section
+        (single-record form of :meth:`_apply_shard_ops`)."""
+        self._apply_shard_ops(shard_dir, [(section, op, key, value)])
+
+    def _apply_shard_ops(self, shard_dir: str, ops, between=None) -> None:
+        """Durably apply ``ops`` (``(section, op, key, value)`` tuples)
+        to one shard manifest as a unit.
 
         Append-then-atomic-rename under the shard's advisory file lock:
-        the delta is appended to ``manifest.log`` first (a single
-        ``O_APPEND`` write, visible to readers immediately and surviving
-        a writer that dies before compaction), then the full log is
-        compacted into a freshly renamed ``manifest.json`` and cleared.
-        The lock serializes concurrent read-modify-writes, so updates
-        from different threads or processes cannot drop each other.
-        Best-effort like all manifest bookkeeping: an ``OSError`` leaves
-        the directory itself as the source of truth."""
-        record = {"section": section, "op": op, "key": key}
-        if op == "set":
-            record["value"] = value
-        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        all deltas are appended to ``manifest.log`` first (a *single*
+        ``O_APPEND`` write, so a multi-record update — e.g. ``{record
+        object, clear tombstone}`` — is visible to readers atomically
+        and survives a writer that dies before compaction), then the
+        full log is compacted into a freshly renamed ``manifest.json``
+        and cleared.  ``between``, when given, runs after the append and
+        before compaction, still under the lock — the deletion protocol
+        removes data files there, so the logged intent is durable before
+        any file disappears.  The lock serializes concurrent
+        read-modify-writes, so updates from different threads or
+        processes cannot drop each other.  Best-effort like all manifest
+        bookkeeping: an ``OSError`` leaves the directory itself as the
+        source of truth."""
+        lines = bytearray()
+        for section, op, key, value in ops:
+            record = {"section": section, "op": op, "key": key}
+            if op == "set":
+                record["value"] = value
+            lines += (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         try:
             os.makedirs(shard_dir, exist_ok=True)
             with self._dir_lock(shard_dir):
@@ -591,11 +644,14 @@ class CatalogStore:
                     0o644,
                 )
                 try:
-                    os.write(fd, line)
+                    os.write(fd, bytes(lines))
                 finally:
                     os.close(fd)
                 self._fault("shard-log-appended")
+                if between is not None:
+                    between()
                 payload = self._read_shard_manifest(shard_dir)
+                self._prune_tombstones(payload)
                 _atomic_write_json(
                     os.path.join(shard_dir, "manifest.json"), payload
                 )
@@ -603,6 +659,107 @@ class CatalogStore:
                 _remove_if_exists(self._shard_log_path(shard_dir))
         except OSError:
             pass
+
+    def _prune_tombstones(self, payload: dict) -> None:
+        """Drop expired (or malformed) tombstones from a manifest payload
+        about to be compacted — pruning happens only on the write path,
+        so readers never mutate what they replay."""
+        tombstones = payload.get("tombstones")
+        if not isinstance(tombstones, dict):
+            if tombstones is not None:
+                payload.pop("tombstones", None)
+            return
+        horizon = _now() - self.tombstone_ttl
+        for key in [
+            key
+            for key, info in tombstones.items()
+            if not isinstance(info, dict)
+            or not isinstance(info.get("ts"), (int, float))
+            or float(info["ts"]) < horizon
+        ]:
+            del tombstones[key]
+        if not tombstones:
+            payload.pop("tombstones", None)
+
+    # ------------------------------------------------------------------
+    # Shared LRU bookkeeping (profile groups and run records both keep
+    # {bytes, touched} entries in their shard manifests)
+    # ------------------------------------------------------------------
+    def _touch_section_entry(
+        self, shard_dir: str, section: str, key: str, path: str
+    ) -> None:
+        """Refresh one entry's LRU clock — pure bookkeeping, so any
+        failure is swallowed (eviction falls back to file mtimes)."""
+        try:
+            info = self._read_shard_section(shard_dir, section).get(key)
+            if isinstance(info, dict):
+                info = dict(info)
+            else:
+                info = {"bytes": _file_size(path)}
+            info["touched"] = _now()
+            self._update_shard_manifest(shard_dir, section, "set", key, info)
+        except Exception:
+            pass
+
+    def _sharded_inventory(self, root_dir: str, section: str, suffix: str):
+        """``([(touched, key, bytes)], seen keys)`` over one sharded
+        store section.
+
+        Walks shard by shard — one manifest parse per shard directory,
+        not per entry — and heals stale bookkeeping from the filesystem
+        (entries missing from their shard manifest get the file's
+        mtime/size, so eviction still orders sensibly after a manifest
+        loss)."""
+        inventory = []
+        seen = set()
+        if not os.path.isdir(root_dir):
+            return inventory, seen
+        for name in sorted(os.listdir(root_dir)):
+            shard_dir = os.path.join(root_dir, name)
+            if not os.path.isdir(shard_dir):
+                continue
+            recorded = self._read_shard_section(shard_dir, section)
+            for entry in sorted(os.listdir(shard_dir)):
+                if not entry.endswith(suffix) or entry == "manifest.json":
+                    continue
+                key = entry[: -len(suffix)]
+                path = os.path.join(shard_dir, entry)
+                info = recorded.get(key)
+                size = None
+                if isinstance(info, dict) and isinstance(
+                    info.get("touched"), (int, float)
+                ):
+                    touched = float(info["touched"])
+                    if isinstance(info.get("bytes"), int):
+                        size = info["bytes"]
+                else:
+                    try:
+                        touched = os.path.getmtime(path)
+                    except OSError:
+                        touched = 0.0
+                if size is None:
+                    size = _file_size(path)
+                seen.add(key)
+                inventory.append((touched, key, size))
+        return inventory, seen
+
+    @staticmethod
+    def _evict_lru(inventory, budget_bytes: int, keep, delete):
+        """Evict least-recently-touched entries until the section fits
+        ``budget_bytes``; returns ``(evicted, freed_bytes)``."""
+        total = sum(size for _t, _k, size in inventory)
+        evicted = 0
+        freed = 0
+        for _touched, key, size in sorted(inventory):
+            if total <= budget_bytes:
+                break
+            if key in keep:
+                continue
+            delete(key)
+            total -= size
+            freed += size
+            evicted += 1
+        return evicted, freed
 
     # ------------------------------------------------------------------
     # Table objects
@@ -649,22 +806,46 @@ class CatalogStore:
         """Persist one table's derived artifacts (no-op if present:
         objects are content-addressed, so equal fingerprint ⇒ equal
         content).  ``overwrite`` forces the write — used when healing a
-        corrupt file with freshly recomputed content."""
-        if not overwrite and self.has_object(fingerprint):
+        corrupt file with freshly recomputed content.
+
+        A tombstoned fingerprint is treated as absent even when a
+        crashed deleter left its file behind: the write proceeds and
+        clears the tombstone in the same atomic log append that records
+        the object, so a re-add after a half-finished deletion can never
+        be reaped by a later :meth:`sweep_tombstones`.  The data file
+        lands under the shard lock, linearizing the write against any
+        concurrent :meth:`delete_object` in the shard."""
+        if (
+            not overwrite
+            and self.has_object(fingerprint)
+            and fingerprint not in self._shard_tombstones(fingerprint)
+        ):
             return
         path = self._object_path(fingerprint)
         shard_dir = os.path.dirname(path)
         os.makedirs(shard_dir, exist_ok=True)
-        _atomic_write_bytes(path, DEFAULT_CODEC.encode(meta, entries))
-        self._update_shard_manifest(
-            shard_dir, "objects", "set", fingerprint, DEFAULT_CODEC.version
-        )
-        # Drop superseded representations (other codecs, the v1 flat
-        # file) so a heal can never resurrect stale content later.
-        for codec in CODECS.values():
-            if codec is not DEFAULT_CODEC:
-                _remove_if_exists(self._object_path(fingerprint, codec))
-        _remove_if_exists(self._legacy_object_path(fingerprint))
+        blob = DEFAULT_CODEC.encode(meta, entries)
+        with self._dir_lock(shard_dir):
+            _atomic_write_bytes(path, blob)
+            # Tombstone clear *before* the object record: both land in
+            # one append, but if the filesystem tears it, every prefix
+            # is still consistent (a cleared tombstone with the object
+            # not yet recorded reads as a plain unlisted file; the
+            # reverse order could leave a fingerprint both recorded
+            # live and tombstoned).
+            self._apply_shard_ops(
+                shard_dir,
+                [
+                    ("tombstones", "del", fingerprint, None),
+                    ("objects", "set", fingerprint, DEFAULT_CODEC.version),
+                ],
+            )
+            # Drop superseded representations (other codecs, the v1 flat
+            # file) so a heal can never resurrect stale content later.
+            for codec in CODECS.values():
+                if codec is not DEFAULT_CODEC:
+                    _remove_if_exists(self._object_path(fingerprint, codec))
+            _remove_if_exists(self._legacy_object_path(fingerprint))
 
     def read_object(self, fingerprint: str):
         """Load ``(meta, {column: ColumnEntry})`` for one fingerprint.
@@ -705,13 +886,122 @@ class CatalogStore:
                 ) from error
         raise KeyError(f"no catalog object {fingerprint!r}")
 
-    def delete_object(self, fingerprint: str) -> None:
+    def _shard_tombstones(self, fingerprint: str) -> dict:
+        """Tombstone section of the shard holding ``fingerprint``."""
+        return self._read_shard_section(
+            self._object_shard_dir(fingerprint), "tombstones"
+        )
+
+    def list_tombstones(self) -> dict:
+        """``{fingerprint: deletion timestamp}`` across all object shards."""
+        objects_dir = self._objects_dir()
+        if not os.path.isdir(objects_dir):
+            return {}
+        out = {}
+        for name in sorted(os.listdir(objects_dir)):
+            shard_dir = os.path.join(objects_dir, name)
+            if not os.path.isdir(shard_dir):
+                continue
+            for key, info in self._read_shard_section(
+                shard_dir, "tombstones"
+            ).items():
+                if isinstance(info, dict) and isinstance(
+                    info.get("ts"), (int, float)
+                ):
+                    out[key] = float(info["ts"])
+        return out
+
+    def _remove_object_files(self, fingerprint: str) -> None:
         for codec in CODECS.values():
             _remove_if_exists(self._object_path(fingerprint, codec))
         _remove_if_exists(self._legacy_object_path(fingerprint))
+
+    def delete_object(self, fingerprint: str) -> None:
+        """Durably delete one object (tombstone-first protocol).
+
+        The deletion intent — ``{del objects, set tombstone}`` as one
+        atomic log append — lands before any file is removed, all under
+        the shard lock.  A deleter killed at any point leaves a store
+        that verifies: either nothing happened yet, or the tombstone is
+        durable and :meth:`sweep_tombstones` finishes the file removal.
+        Concurrent writers in the shard are linearized by the lock, so
+        a racing :meth:`write_object` either completes before (and is
+        deleted) or after (clearing the tombstone, object lives)."""
         shard_dir = self._object_shard_dir(fingerprint)
-        if self._read_shard_section(shard_dir, "objects").get(fingerprint):
-            self._update_shard_manifest(shard_dir, "objects", "del", fingerprint)
+        if not (
+            self.has_object(fingerprint)
+            or fingerprint in self._read_shard_section(shard_dir, "objects")
+        ):
+            # Nothing recorded and no file anywhere: leave no tombstone
+            # behind (deleting the absent is a no-op, not an intent).
+            return
+
+        removed = []
+
+        def _remove_files():
+            self._remove_object_files(fingerprint)
+            removed.append(True)
+            self._fault("object-files-removed")
+
+        # Un-record before tombstoning (one append; see write_object for
+        # why every prefix of the pair must read consistent).
+        self._apply_shard_ops(
+            shard_dir,
+            [
+                ("objects", "del", fingerprint, None),
+                ("tombstones", "set", fingerprint, {"ts": _now()}),
+            ],
+            between=_remove_files,
+        )
+        if not removed:
+            # The protocol's bookkeeping is best-effort (an unwritable
+            # log or lock swallows as OSError and skips ``between``) —
+            # but best-effort must stay confined to bookkeeping: the
+            # deletion itself still happens, like the pre-tombstone
+            # behavior.  An injected crash propagates out above, so this
+            # fallback never runs under fault tests.
+            self._remove_object_files(fingerprint)
+
+    def sweep_tombstones(self) -> int:
+        """Finish deletions a crashed deleter left half-done.
+
+        For every tombstoned fingerprint whose shard manifest no longer
+        records an object, any surviving data file is removed (under the
+        shard lock, so a concurrent re-add — which clears the tombstone
+        atomically with its object record — can never be reaped).
+        Returns the number of files removed.  Expired tombstones are
+        pruned by every compaction; sweeping only reconciles files.
+        """
+        objects_dir = self._objects_dir()
+        if not os.path.isdir(objects_dir):
+            return 0
+        removed = 0
+        for name in sorted(os.listdir(objects_dir)):
+            shard_dir = os.path.join(objects_dir, name)
+            if not os.path.isdir(shard_dir):
+                continue
+            if not self._read_shard_section(shard_dir, "tombstones"):
+                continue
+            try:
+                with self._dir_lock(shard_dir):
+                    # Re-read under the lock: a concurrent write may have
+                    # just cleared a tombstone we saw.
+                    payload = self._read_shard_manifest(shard_dir)
+                    tombstones = payload.get("tombstones")
+                    objects = payload.get("objects")
+                    if not isinstance(tombstones, dict):
+                        continue
+                    recorded = objects if isinstance(objects, dict) else {}
+                    for fingerprint in sorted(tombstones):
+                        if fingerprint in recorded:
+                            continue
+                        for _codec, path in self._object_candidates(fingerprint):
+                            if os.path.exists(path):
+                                _remove_if_exists(path)
+                                removed += 1
+            except OSError:
+                continue
+        return removed
 
     def _extensions(self):
         return {codec.extension for codec in CODECS.values()}
@@ -737,13 +1027,17 @@ class CatalogStore:
         return sorted(found)
 
     def gc(self, live_fingerprints) -> int:
-        """Delete objects not in ``live_fingerprints``; returns the count."""
+        """Delete objects not in ``live_fingerprints``; returns the count.
+
+        Also sweeps tombstones, finishing any deletion a crashed writer
+        left half-done."""
         live = set(live_fingerprints)
         removed = 0
         for fingerprint in self.list_objects():
             if fingerprint not in live:
                 self.delete_object(fingerprint)
                 removed += 1
+        self.sweep_tombstones()
         return removed
 
     # ------------------------------------------------------------------
@@ -928,25 +1222,12 @@ class CatalogStore:
             )
 
     def _touch_profile_group(self, base_fingerprint: str) -> None:
-        """Refresh one group's LRU clock — pure bookkeeping, so any
-        failure is swallowed (eviction falls back to file mtimes)."""
-        shard_dir = self._profile_shard_dir(base_fingerprint)
-        try:
-            info = self._read_shard_section(shard_dir, "groups").get(
-                base_fingerprint
-            )
-            if isinstance(info, dict):
-                info = dict(info)
-            else:
-                info = {
-                    "bytes": _file_size(self._profile_path(base_fingerprint))
-                }
-            info["touched"] = _now()
-            self._update_shard_manifest(
-                shard_dir, "groups", "set", base_fingerprint, info
-            )
-        except Exception:
-            pass
+        self._touch_section_entry(
+            self._profile_shard_dir(base_fingerprint),
+            "groups",
+            base_fingerprint,
+            self._profile_path(base_fingerprint),
+        )
 
     def delete_profiles(self, base_fingerprint: str) -> None:
         """Drop one base table's cached profile group (both layouts)."""
@@ -974,52 +1255,20 @@ class CatalogStore:
         return sorted(found)
 
     def _profile_inventory(self) -> list:
-        """``(touched, base_fingerprint, bytes)`` for every profile group.
-
-        Walks the profile section shard by shard — one manifest parse
-        per shard directory, not per group, so a budgeted flush stays
-        cheap as groups accumulate — and heals stale bookkeeping from
-        the filesystem (groups missing from their shard manifest get the
-        file's mtime/size, so eviction still orders sensibly after a
-        manifest loss)."""
+        """``(touched, base_fingerprint, bytes)`` for every profile
+        group — the shared sharded inventory plus layout-v1 flat groups
+        (no bookkeeping, so ordered by file mtime; skipped when a
+        sharded copy supersedes them)."""
         profiles_dir = self._profiles_dir()
+        inventory, seen = self._sharded_inventory(profiles_dir, "groups", ".npz")
         if not os.path.isdir(profiles_dir):
-            return []
-        inventory = []
-        seen = set()
-        legacy = []
+            return inventory
         for name in sorted(os.listdir(profiles_dir)):
-            shard_dir = os.path.join(profiles_dir, name)
-            if not os.path.isdir(shard_dir):
-                if name.endswith(".json"):
-                    legacy.append(name[: -len(".json")])
+            if not name.endswith(".json"):
                 continue
-            groups = self._read_shard_section(shard_dir, "groups")
-            for entry in sorted(os.listdir(shard_dir)):
-                if not entry.endswith(".npz"):
-                    continue
-                base_fingerprint = entry[: -len(".npz")]
-                path = os.path.join(shard_dir, entry)
-                info = groups.get(base_fingerprint)
-                size = None
-                if isinstance(info, dict) and isinstance(
-                    info.get("touched"), (int, float)
-                ):
-                    touched = float(info["touched"])
-                    if isinstance(info.get("bytes"), int):
-                        size = info["bytes"]
-                else:
-                    try:
-                        touched = os.path.getmtime(path)
-                    except OSError:
-                        touched = 0.0
-                if size is None:
-                    size = _file_size(path)
-                seen.add(base_fingerprint)
-                inventory.append((touched, base_fingerprint, size))
-        for base_fingerprint in legacy:
-            # Layout-v1 flat group (skipped when a sharded copy
-            # supersedes it): no bookkeeping, so order by file mtime.
+            if os.path.isdir(os.path.join(profiles_dir, name)):
+                continue
+            base_fingerprint = name[: -len(".json")]
             if base_fingerprint in seen:
                 continue
             path = self._legacy_profile_path(base_fingerprint)
@@ -1039,20 +1288,109 @@ class CatalogStore:
         fits ``budget_bytes``.  ``keep`` groups are never evicted (the
         writer protects the group it just flushed).  Returns
         ``(evicted_groups, freed_bytes)``."""
-        inventory = self._profile_inventory()
-        total = sum(size for _t, _fp, size in inventory)
-        evicted = 0
-        freed = 0
-        for touched, base_fingerprint, size in sorted(inventory):
-            if total <= budget_bytes:
-                break
-            if base_fingerprint in keep:
+        return self._evict_lru(
+            self._profile_inventory(), budget_bytes, keep, self.delete_profiles
+        )
+
+    # ------------------------------------------------------------------
+    # Persisted run records (the result cache's on-disk tier)
+    # ------------------------------------------------------------------
+    def _results_dir(self) -> str:
+        return os.path.join(self.root, "results")
+
+    def _result_shard_dir(self, key: str) -> str:
+        return os.path.join(self._results_dir(), shard_of(key))
+
+    def _result_path(self, key: str) -> str:
+        return os.path.join(self._result_shard_dir(key), f"{key}.json")
+
+    def write_result(self, key: str, payload: dict) -> None:
+        """Persist one run record under its canonical request key.
+
+        Same shard layout, lock, and LRU bookkeeping as profile groups;
+        ``result_budget_bytes`` (when set) evicts least-recently-touched
+        records after every write, never the one just written."""
+        path = self._result_path(key)
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        with self._dir_lock(shard_dir):
+            _atomic_write_bytes(path, blob)
+            self._update_shard_manifest(
+                shard_dir,
+                "results",
+                "set",
+                key,
+                {"bytes": len(blob), "touched": _now()},
+            )
+        if self.result_budget_bytes is not None:
+            self.evict_results(self.result_budget_bytes, keep=frozenset({key}))
+
+    def read_result(self, key: str):
+        """Stored payload for ``key``, or ``None`` when absent or corrupt
+        (persisted runs are a pure optimization — damage degrades to
+        re-running, and the next write overwrites the bad file).
+
+        Reading touches the record's LRU clock, so replayed requests
+        survive budget enforcement."""
+        try:
+            with open(self._result_path(key), "rb") as handle:
+                payload = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        self._touch_result(key)
+        return payload
+
+    def _touch_result(self, key: str) -> None:
+        self._touch_section_entry(
+            self._result_shard_dir(key), "results", key, self._result_path(key)
+        )
+
+    def result_record_size(self, key: str) -> int:
+        """On-disk byte size of one stored record (0 when absent) — lets
+        a caller that just read the record budget it without
+        re-serializing the payload."""
+        return _file_size(self._result_path(key))
+
+    def delete_result(self, key: str) -> None:
+        _remove_if_exists(self._result_path(key))
+        shard_dir = self._result_shard_dir(key)
+        if self._read_shard_section(shard_dir, "results").get(key):
+            self._update_shard_manifest(shard_dir, "results", "del", key)
+
+    def list_results(self) -> list:
+        results_dir = self._results_dir()
+        if not os.path.isdir(results_dir):
+            return []
+        found = set()
+        for name in os.listdir(results_dir):
+            shard_dir = os.path.join(results_dir, name)
+            if not os.path.isdir(shard_dir):
                 continue
-            self.delete_profiles(base_fingerprint)
-            total -= size
-            freed += size
-            evicted += 1
-        return evicted, freed
+            for entry in os.listdir(shard_dir):
+                if entry.endswith(".json") and entry != "manifest.json":
+                    found.add(entry[: -len(".json")])
+        return sorted(found)
+
+    def _result_inventory(self) -> list:
+        """``(touched, key, bytes)`` for every stored run record (the
+        shared sharded inventory; this section has no legacy layout)."""
+        return self._sharded_inventory(self._results_dir(), "results", ".json")[0]
+
+    def result_bytes(self) -> int:
+        """Total on-disk size of the persisted run-record section."""
+        return sum(size for _t, _k, size in self._result_inventory())
+
+    def evict_results(self, budget_bytes: int, keep=frozenset()):
+        """Evict least-recently-touched run records until the section
+        fits ``budget_bytes``; returns ``(evicted, freed_bytes)``."""
+        return self._evict_lru(
+            self._result_inventory(), budget_bytes, keep, self.delete_result
+        )
 
     # ------------------------------------------------------------------
     # Auxiliary metadata
@@ -1144,9 +1482,17 @@ class CatalogStore:
                 shard_dir = os.path.join(objects_dir, name)
                 if not os.path.isdir(shard_dir):
                     continue
-                for fingerprint, version in sorted(
-                    self._read_shard_section(shard_dir, "objects").items()
-                ):
+                recorded = self._read_shard_section(shard_dir, "objects")
+                tombstones = self._read_shard_section(shard_dir, "tombstones")
+                for fingerprint, version in sorted(recorded.items()):
+                    if fingerprint in tombstones:
+                        # The write/delete protocols update both sections
+                        # in one atomic log append, so a fingerprint both
+                        # recorded live and tombstoned is corruption.
+                        problems.append(
+                            f"shard {name}: object {fingerprint!r} is both "
+                            "recorded live and tombstoned"
+                        )
                     if version not in CODECS:
                         problems.append(
                             f"shard {name}: object {fingerprint!r} records "
@@ -1163,9 +1509,22 @@ class CatalogStore:
             loaded = self._read_profile_file(self._profile_path(group))
             if loaded is self._CORRUPT_PROFILES:
                 problems.append(f"profile group {group!r}: corrupt archive")
+        results = self.list_results()
+        for key in results:
+            try:
+                with open(self._result_path(key), "rb") as handle:
+                    payload = json.loads(handle.read().decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("not a dict")
+            except FileNotFoundError:
+                continue
+            except (OSError, ValueError, UnicodeDecodeError):
+                problems.append(f"run record {key!r}: corrupt")
         return {
             "objects": len(objects),
             "profile_groups": len(groups),
+            "run_records": len(results),
+            "tombstones": len(self.list_tombstones()),
             "problems": problems,
         }
 
@@ -1203,6 +1562,9 @@ class CatalogStore:
             "profile_groups": len(self.list_profile_groups()),
             "profile_entries": n_profiles,
             "profile_bytes": self.profile_bytes(),
+            "run_records": len(self.list_results()),
+            "result_bytes": self.result_bytes(),
+            "tombstones": len(self.list_tombstones()),
             "disk_bytes": size,
             "config": manifest["config"],
         }

@@ -16,14 +16,21 @@ Commands
     or, with ``--catalog DIR``, serve the report straight from a saved
     catalog's disk artifacts (no corpus generation, no column
     re-signing).
-``catalog build|update|stats|gc``
+``catalog build|update|stats|gc|watch``
     Maintain a persistent discovery catalog on disk: ``build`` indexes a
     corpus into a catalog directory (``--migrate`` rewrites a legacy
     flat/JSON store into the sharded binary layout first), ``update``
     incrementally refreshes it (only new/changed tables are re-signed),
     ``stats`` reports its contents and footprint, ``gc`` reclaims
-    unreferenced objects and (with ``--profile-budget``) evicts
-    least-recently-used cached profile groups.
+    unreferenced objects and (with ``--profile-budget`` /
+    ``--result-budget``) evicts least-recently-used cached profile
+    groups and persisted run records, and ``watch`` runs the background
+    refresh loop in the foreground: every ``--interval`` seconds the
+    recorded corpus parameters are re-read and the catalog re-synced,
+    so changed parameters (an out-of-band build/update) or changed
+    synthetic content are re-signed off any serving engine's query
+    path.  ``repro run --staleness-budget`` serves through a background
+    refresher, bounding how stale the served snapshot may be.
 """
 
 from __future__ import annotations
@@ -92,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve METAM and the baselines concurrently through the "
         "engine's worker pool (engine.submit); results are identical to "
         "the sequential path",
+    )
+    run.add_argument(
+        "--staleness-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve through a background catalog refresher and bound "
+        "how old (seconds) the served corpus snapshot may be — each "
+        "request re-verifies the snapshot when the budget is exceeded; "
+        "results are identical to the refresher-less path",
     )
     run.add_argument(
         "--no-result-cache",
@@ -179,6 +196,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-used cached profile groups until the "
         "profile section fits this many bytes",
     )
+    gc.add_argument(
+        "--result-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict least-recently-used persisted run records until the "
+        "result section fits this many bytes",
+    )
+
+    watch = catsub.add_parser(
+        "watch",
+        help="run the background refresh loop in the foreground: poll "
+        "the recorded corpus parameters and re-sync the catalog each "
+        "interval",
+    )
+    watch.add_argument("dir", help="catalog directory")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll period between refresh cycles (default 2s)",
+    )
+    watch.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N cycles (default: run until Ctrl-C)",
+    )
     return parser
 
 
@@ -232,6 +279,28 @@ def _cmd_run(args) -> int:
         corpus=scenario.corpus,
         result_cache_bytes=0 if args.no_result_cache else _RESULT_CACHE_BYTES,
     )
+    refresher = None
+    if args.staleness_budget is not None:
+        if args.staleness_budget <= 0:
+            _error(
+                f"--staleness-budget must be > 0, got {args.staleness_budget}"
+            )
+            return 2
+        from repro.catalog import CatalogRefresher
+
+        # The scenario corpus is static, so the refresher's cycles are
+        # cheap no-ops; the flag still exercises the full serving path:
+        # every request verifies the snapshot against the budget and
+        # candidate preparation warm-starts through the refresher's
+        # catalog.  The catalog seed matches the run seed so warm-start
+        # discovery reproduces the cold path exactly.
+        refresher = CatalogRefresher(
+            lambda: scenario.corpus,
+            interval=max(args.staleness_budget / 2, 0.1),
+            staleness_budget=args.staleness_budget,
+            seed=args.seed,
+        ).start()
+        engine.attach_refresher(refresher)
     if "iarda" in baselines:
         _error(
             "the 'iarda' baseline needs a target column and is not "
@@ -275,6 +344,8 @@ def _cmd_run(args) -> int:
     finally:
         restore_sigint()
         engine.shutdown()
+        if refresher is not None:
+            refresher.stop()
     print(f"Scenario: {scenario.name} "
           f"({scenario.base.num_rows} rows, {len(scenario.corpus)} repo tables)\n")
     print(report.table())
@@ -357,6 +428,9 @@ def _run_catalog_command(args) -> int:
         print(f"  profile groups  {stats['profile_groups']}")
         print(f"  profile entries {stats['profile_entries']}")
         print(f"  profile bytes   {stats['profile_bytes']}B")
+        print(f"  run records     {stats['run_records']}")
+        print(f"  result bytes    {stats['result_bytes']}B")
+        print(f"  tombstones      {stats['tombstones']}")
         print(f"  disk            {stats['disk_bytes']}B")
         print(f"  config          {stats['config']}")
         return 0
@@ -371,7 +445,16 @@ def _run_catalog_command(args) -> int:
                 f"gc: evicted {evicted} profile groups ({freed}B freed, "
                 f"budget {args.profile_budget}B)"
             )
+        if args.result_budget is not None:
+            evicted, freed = catalog.store.evict_results(args.result_budget)
+            print(
+                f"gc: evicted {evicted} run records ({freed}B freed, "
+                f"budget {args.result_budget}B)"
+            )
         return 0
+
+    if args.catalog_command == "watch":
+        return _cmd_catalog_watch(args)
 
     # Open/validate the catalog before the (potentially expensive) corpus
     # generation, so bad paths and bad parameters fail fast.
@@ -460,6 +543,81 @@ def _run_catalog_command(args) -> int:
         f"{catalog.loaded_columns} loaded from disk, {elapsed:.2f}s"
     )
     return 0
+
+
+def _cmd_catalog_watch(args) -> int:
+    """Foreground background-refresh loop over a CLI-built catalog.
+
+    Each cycle re-reads the recorded corpus parameters (so an
+    out-of-band ``catalog build``/``update`` that changed them is
+    noticed, like an mtime watch on the parameter file), regenerates
+    the synthetic corpus, and refreshes the catalog — changed or
+    removed tables are re-signed or tombstoned off any serving
+    engine's query path.
+    """
+    import time
+
+    from repro.catalog import CatalogRefresher, CatalogStore, CatalogStoreError
+    from repro.data import generate_corpus
+
+    store = CatalogStore(args.dir)
+    if not store.exists():
+        _error(f"no catalog at {args.dir}")
+        return 1
+    if args.interval <= 0:
+        _error(f"--interval must be > 0, got {args.interval}")
+        return 2
+    if args.cycles is not None and args.cycles < 1:
+        _error(f"--cycles must be >= 1, got {args.cycles}")
+        return 2
+    if not _load_corpus_args(args.dir):
+        _error(
+            f"catalog at {args.dir!r} has no recorded corpus parameters "
+            "(was it built outside the CLI?); run 'catalog build' or "
+            "'catalog update' with explicit flags first"
+        )
+        return 1
+
+    def source():
+        params = _load_corpus_args(args.dir)
+        if not params:
+            raise CatalogStoreError(
+                f"recorded corpus parameters at {args.dir!r} disappeared"
+            )
+        return generate_corpus(
+            params["tables"], style=params["style"], seed=params["seed"]
+        )
+
+    refresher = CatalogRefresher(source, store=store, interval=args.interval)
+    limit = args.cycles
+    print(
+        f"watching catalog at {args.dir} (interval {args.interval}s"
+        + (f", {limit} cycles" if limit is not None else ", Ctrl-C to stop")
+        + ")"
+    )
+    cycle = 0
+    last_epoch = None
+    try:
+        while True:
+            cycle += 1
+            snapshot = refresher.refresh_now()
+            # An unchanged cycle republishes the previous snapshot —
+            # whose recorded diff is the *old* change — so "did this
+            # cycle change anything" is the epoch, not snapshot.diff.
+            if snapshot.epoch != last_epoch and snapshot.diff.changed:
+                print(
+                    f"cycle {cycle}: epoch {snapshot.epoch}, "
+                    f"{snapshot.diff.summary()}"
+                )
+            else:
+                print(f"cycle {cycle}: epoch {snapshot.epoch}, unchanged")
+            last_epoch = snapshot.epoch
+            if limit is not None and cycle >= limit:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print(f"\nstopped after {cycle} cycles")
+        return 0
 
 
 _CORPUS_ARGS_FILE = "cli_corpus.json"

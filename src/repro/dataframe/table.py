@@ -262,3 +262,24 @@ class Table:
     def empty(cls, name: str, source: str = "") -> "Table":
         """A table with no rows and no columns."""
         return cls(name, {}, source=source)
+
+
+def normalize_corpus(corpus) -> dict:
+    """``{name: Table}`` from a dict or iterable of Tables.
+
+    The one corpus-normalization rule shared by every surface that
+    accepts a repository (the serving engine, the background catalog
+    refresher): entries must be Tables, and two *distinct* table objects
+    may not share a name (the same object listed twice is fine — every
+    internal map is name-keyed, and silently collapsing different
+    content would corrupt discovery).
+    """
+    tables = corpus.values() if isinstance(corpus, dict) else corpus
+    normalized = {}
+    for table in tables:
+        if not isinstance(table, Table):
+            raise TypeError(f"corpus entries must be Tables, got {table!r}")
+        if table.name in normalized and normalized[table.name] is not table:
+            raise ValueError(f"duplicate table name {table.name!r} in corpus")
+        normalized[table.name] = table
+    return normalized

@@ -5,9 +5,11 @@ protocol under per-shard advisory file locks, so concurrent writers
 (threads or processes) cannot drop each other's entries, and a writer
 killed between the log append and the manifest rename leaves a store
 that reads back every completed update.
+
+Fault shapes (crash-at-point, torn log tails, killed subprocesses) come
+from the shared harness in ``tests/harness/faults.py``.
 """
 
-import multiprocessing
 import os
 from concurrent.futures import ThreadPoolExecutor
 
@@ -15,43 +17,21 @@ import numpy as np
 import pytest
 
 from repro.catalog import Catalog, CatalogStore
-from repro.catalog.fingerprint import shard_of
 from repro.dataframe.table import Table
-from repro.discovery.index import ColumnEntry
-from repro.discovery.minhash import MinHasher
-
-
-def make_entry(values, num_perm=8):
-    distinct = frozenset(values)
-    return ColumnEntry(
-        distinct=distinct,
-        normalized=frozenset(v.strip().lower() for v in distinct),
-        signature=MinHasher(num_perm=num_perm).signature(distinct),
-    )
-
-
-def same_shard_fingerprints(count, shard=None):
-    """``count`` distinct fingerprints hashing to one shard directory —
-    the maximum-contention case for the shard manifest protocol."""
-    found = []
-    i = 0
-    while len(found) < count:
-        candidate = f"fp{i:06d}"
-        i += 1
-        if shard is None:
-            shard = shard_of(candidate)
-        if shard_of(candidate) == shard:
-            found.append(candidate)
-    return found
+from tests.harness.entries import make_entry, same_shard_fingerprints
+from tests.harness.faults import (
+    InjectedCrash,
+    crash_at,
+    exit_hook,
+    run_killed,
+    run_ok,
+    torn_log,
+)
 
 
 @pytest.fixture
 def store(tmp_path):
     return CatalogStore(str(tmp_path / "cat"))
-
-
-class _InjectedCrash(BaseException):
-    """Simulated writer death (BaseException so no handler eats it)."""
 
 
 class TestThreadedWriters:
@@ -116,16 +96,7 @@ class TestProcessWriters:
     def test_multiprocess_store_writers(self, store):
         fingerprints = same_shard_fingerprints(24)
         chunks = [fingerprints[i::4] for i in range(4)]
-        ctx = multiprocessing.get_context("fork")
-        workers = [
-            ctx.Process(target=_object_writer, args=(store.root, chunk))
-            for chunk in chunks
-        ]
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
-            assert worker.exitcode == 0
+        run_ok([(_object_writer, (store.root, chunk)) for chunk in chunks])
 
         assert store.list_objects() == sorted(fingerprints)
         shard_dir = store._object_shard_dir(fingerprints[0])
@@ -150,16 +121,7 @@ class TestProcessWriters:
         # Create the store first so both builders adopt one config
         # instead of racing the creation itself.
         Catalog.open(root, num_perm=8, bands=4).save()
-        ctx = multiprocessing.get_context("fork")
-        workers = [
-            ctx.Process(target=_catalog_builder, args=(root, tables))
-            for tables in slices
-        ]
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
-            assert worker.exitcode == 0
+        run_ok([(_catalog_builder, (root, tables)) for tables in slices])
 
         manifest = CatalogStore(root).read_manifest()
         expected = {name for tables in slices for name in tables}
@@ -194,28 +156,23 @@ class TestProcessWriters:
 
 def _crashing_writer(root, fingerprint):
     store = CatalogStore(root)
-    store.fault_hook = lambda point: (
-        os._exit(17) if point == "shard-log-appended" else None
-    )
+    store.fault_hook = exit_hook("shard-log-appended")
     store.write_object(fingerprint, {"name": fingerprint}, {"c": make_entry({"v"})})
 
 
 class TestCrashSafety:
     def test_writer_dies_between_append_and_rename(self, store):
-        """The satellite scenario: the delta reaches the log, the writer
-        dies before the manifest rename — the shard must read back
-        consistent (the log replays) and the next writer compacts."""
+        """The delta reaches the log, the writer dies before the
+        manifest rename — the shard must read back consistent (the log
+        replays) and the next writer compacts."""
         first, second = same_shard_fingerprints(2)
         shard_dir = store._object_shard_dir(first)
 
-        def crash(point):
-            if point == "shard-log-appended":
-                raise _InjectedCrash(point)
-
-        store.fault_hook = crash
-        with pytest.raises(_InjectedCrash):
-            store.write_object(first, {"name": first}, {"c": make_entry({"v"})})
-        store.fault_hook = None
+        with crash_at(store, "shard-log-appended"):
+            with pytest.raises(InjectedCrash):
+                store.write_object(
+                    first, {"name": first}, {"c": make_entry({"v"})}
+                )
 
         # The data file landed and the appended-but-uncompacted delta is
         # visible through log replay.
@@ -240,11 +197,7 @@ class TestCrashSafety:
         after the append — no finally blocks, no interpreter teardown —
         runs in the writer."""
         first, second = same_shard_fingerprints(2)
-        ctx = multiprocessing.get_context("fork")
-        worker = ctx.Process(target=_crashing_writer, args=(store.root, first))
-        worker.start()
-        worker.join()
-        assert worker.exitcode == 17
+        run_killed(_crashing_writer, (store.root, first))
 
         shard_dir = store._object_shard_dir(first)
         assert os.path.exists(store._shard_log_path(shard_dir))
@@ -267,11 +220,11 @@ class TestCrashSafety:
             fingerprint, {"name": fingerprint}, {"c": make_entry({"v"})}
         )
         shard_dir = store._object_shard_dir(fingerprint)
-        with open(store._shard_log_path(shard_dir), "w", encoding="utf-8") as f:
-            f.write(
-                '{"section": "objects", "op": "set", "key": "extra", "value": 2}\n'
-                '{"section": "objects", "op": "se'  # torn mid-record
-            )
+        torn_log(
+            store._shard_log_path(shard_dir),
+            [{"section": "objects", "op": "set", "key": "extra", "value": 2}],
+            torn_tail='{"section": "objects", "op": "se',  # torn mid-record
+        )
         recorded = store._read_shard_section(shard_dir, "objects")
         assert recorded[fingerprint] == 2
         assert recorded["extra"] == 2  # complete log record applies
@@ -282,8 +235,8 @@ class TestCrashSafety:
             fingerprint, {"name": fingerprint}, {"c": make_entry({"v"})}
         )
         shard_dir = store._object_shard_dir(fingerprint)
-        with open(store._shard_log_path(shard_dir), "w", encoding="utf-8") as f:
-            f.write(
-                '{"section": "objects", "op": "del", "key": "%s"}\n' % fingerprint
-            )
+        torn_log(
+            store._shard_log_path(shard_dir),
+            [{"section": "objects", "op": "del", "key": fingerprint}],
+        )
         assert fingerprint not in store._read_shard_section(shard_dir, "objects")

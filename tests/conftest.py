@@ -1,0 +1,13 @@
+"""Test-suite root conftest: make ``tests.harness`` importable.
+
+``python -m pytest`` puts the repo root on ``sys.path`` already; this
+covers bare ``pytest`` invocations (and IDEs) so the shared harness
+imports the same way everywhere.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

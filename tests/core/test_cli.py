@@ -300,3 +300,92 @@ class TestCatalogCommands:
     def test_catalog_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["catalog"])
+
+
+class TestCatalogWatch:
+    def test_watch_cycles_and_stops(self, capsys, tmp_path):
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "6"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["catalog", "watch", path, "--interval", "0.01", "--cycles", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watching catalog" in out
+        assert "cycle 1: epoch 1" in out
+        assert "cycle 2: epoch 1" in out  # unchanged corpus, same epoch
+
+    def test_watch_requires_catalog(self, capsys, tmp_path):
+        assert main(["catalog", "watch", str(tmp_path / "none")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_requires_recorded_corpus_params(self, capsys, tmp_path):
+        from repro.catalog import Catalog, CatalogStore
+        from repro.dataframe.table import Table
+
+        path = str(tmp_path / "api-cat")
+        catalog = Catalog(CatalogStore(path), seed=0)
+        catalog.refresh({"t": Table("t", {"key": ["a", "b"]})})
+        catalog.save()
+        assert main(["catalog", "watch", path, "--cycles", "1"]) == 1
+        assert "no recorded corpus parameters" in capsys.readouterr().err
+
+    def test_watch_validates_flags(self, capsys, tmp_path):
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "4"]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "watch", path, "--interval", "0"]) == 2
+        assert main(["catalog", "watch", path, "--cycles", "0"]) == 2
+
+    def test_watch_picks_up_parameter_change(self, capsys, tmp_path):
+        """An out-of-band corpus-parameter change (what 'catalog
+        update' records) is noticed on the next cycle and re-signed."""
+        import json as json_module
+        import os
+
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "4"]) == 0
+        capsys.readouterr()
+        params_path = os.path.join(path, "cli_corpus.json")
+        with open(params_path, encoding="utf-8") as handle:
+            params = json_module.load(handle)
+        params["tables"] = 6
+        with open(params_path, "w", encoding="utf-8") as handle:
+            json_module.dump(params, handle)
+        assert (
+            main(
+                ["catalog", "watch", path, "--interval", "0.01", "--cycles", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cycle 1: epoch 1, +2 added" in out
+        # The follow-up cycle republishes the same snapshot: it must
+        # report "unchanged", not replay the previous cycle's diff.
+        assert "cycle 2: epoch 1, unchanged" in out
+
+
+class TestGcResultBudget:
+    def test_gc_evicts_run_records(self, capsys, tmp_path):
+        from repro.catalog import CatalogStore
+
+        path = str(tmp_path / "cat")
+        assert main(["catalog", "build", path, "--tables", "4"]) == 0
+        capsys.readouterr()
+        store = CatalogStore(path)
+        for i in range(3):
+            store.write_result(f"key{i}", {"version": 1, "pad": "x" * 50})
+        assert main(["catalog", "gc", path, "--result-budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 3 run records" in out
+        assert store.list_results() == []
+
+
+class TestRunStalenessBudget:
+    def test_staleness_budget_validated(self, capsys):
+        code = main(
+            ["run", "clustering", "--staleness-budget", "0", "--budget", "5"]
+        )
+        assert code == 2
+        assert "staleness-budget" in capsys.readouterr().err

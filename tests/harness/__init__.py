@@ -1,0 +1,5 @@
+"""Shared test harness: fault injection and store-content builders.
+
+Import as ``from tests.harness import faults`` (the repo root is on
+``sys.path`` via ``python -m pytest`` and ``tests/conftest.py``).
+"""

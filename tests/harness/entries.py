@@ -1,0 +1,32 @@
+"""Minimal store-content builders shared by catalog crash/stress tests."""
+
+from __future__ import annotations
+
+from repro.catalog.fingerprint import shard_of
+from repro.discovery.index import ColumnEntry
+from repro.discovery.minhash import MinHasher
+
+
+def make_entry(values, num_perm: int = 8) -> ColumnEntry:
+    """One indexable column entry over ``values``."""
+    distinct = frozenset(values)
+    return ColumnEntry(
+        distinct=distinct,
+        normalized=frozenset(v.strip().lower() for v in distinct),
+        signature=MinHasher(num_perm=num_perm).signature(distinct),
+    )
+
+
+def same_shard_fingerprints(count: int, shard: str = None) -> list:
+    """``count`` distinct fingerprints hashing to one shard directory —
+    the maximum-contention case for the shard manifest protocol."""
+    found = []
+    i = 0
+    while len(found) < count:
+        candidate = f"fp{i:06d}"
+        i += 1
+        if shard is None:
+            shard = shard_of(candidate)
+        if shard_of(candidate) == shard:
+            found.append(candidate)
+    return found
