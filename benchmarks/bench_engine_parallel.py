@@ -37,7 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from benchmarks.common import SCALE, report, scaled
-from repro import Catalog, DiscoveryEngine
+from repro import Catalog, DiscoveryEngine, DiscoveryRequest
 from repro.data import housing_scenario
 
 N_WORKERS = 4
@@ -85,6 +85,49 @@ def _thread_prepare(scenario, striped: bool):
     elapsed = time.perf_counter() - start
     assert engine.stats()["prepared_candidate_sets"] == N_WORKERS
     return {seed: _digest(c) for seed, c in prepared.items()}, elapsed
+
+
+# ----------------------------------------------------------------------
+# Run records: cache accounting must be explicit, not inferred
+# ----------------------------------------------------------------------
+def _assert_record_cache_accounting(scenario):
+    """A cacheable request served twice on one warm engine must say so
+    in its archived JSON record (the ``caches`` block PR 6 added), so
+    benchmarks and dashboards assert cache behavior instead of
+    guessing it from timings."""
+    engine = DiscoveryEngine(corpus=scenario.corpus, result_cache_bytes=8 << 20)
+    engine.tasks.register("bench-task", lambda **_options: scenario.task)
+    request = DiscoveryRequest(
+        base=scenario.base,
+        task="bench-task",
+        searcher="uniform",
+        theta=0.9,
+        query_budget=15,
+        seed=0,
+    )
+    first = engine.discover(request).to_record()["caches"]
+    assert first == {
+        "prepare_source": "prepared",
+        "prepare_cache_hit": False,
+        "result_cache_hit": False,
+    }, f"cold run recorded wrong cache info: {first}"
+    second = engine.discover(request).to_record()["caches"]
+    assert second["result_cache_hit"], "warm replay not recorded as a hit"
+    assert second["result_cache_tier"] == "memory"
+    # A same-spec request under a different search seed re-searches but
+    # reuses the prepared candidates — and its record must show that.
+    third_request = DiscoveryRequest(
+        base=scenario.base,
+        task="bench-task",
+        searcher="uniform",
+        theta=0.9,
+        query_budget=15,
+        seed=1,
+        prepare_seed=0,
+    )
+    third = engine.discover(third_request).to_record()["caches"]
+    assert third["prepare_cache_hit"] and third["prepare_source"] == "cache"
+    assert not third["result_cache_hit"]
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +184,9 @@ def test_engine_parallel_prepare(benchmark):
         striped_digests, striped_time = _thread_prepare(scenario, striped=True)
         assert locked_digests == reference, "engine-wide lock diverged"
         assert striped_digests == reference, "striped prepare diverged"
+
+        # --- archived run records expose cache behavior explicitly.
+        _assert_record_cache_accounting(scenario)
 
         out = {
             "n_candidates": None,
@@ -212,6 +258,7 @@ def test_engine_parallel_prepare(benchmark):
         ]
     lines += [
         "all candidate sets byte-identical to sequential references",
+        "run records carry explicit prepare/result cache accounting",
         f"strict >=2x threshold (needs >=4 CPUs at full scale): "
         f"{'on' if STRICT else 'off'}",
     ]

@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 import weakref
 from dataclasses import replace
@@ -70,6 +71,8 @@ from repro.api.futures import DiscoveryFuture
 from repro.api.request import CandidateSpec, DiscoveryRequest
 from repro.api.run import DiscoveryRun
 from repro.catalog import Catalog
+from repro.catalog.refresh import register_refresher_metrics
+from repro.catalog.store import register_store_metrics
 from repro.catalog.fingerprint import (
     config_fingerprint,
     corpus_fingerprint,
@@ -86,10 +89,15 @@ from repro.discovery.candidates import (
 )
 from repro.discovery.index import DiscoveryIndex
 from repro.discovery.unions import find_union_candidates
+from repro.obs.logcfg import get_logger, log_context
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import Tracer, mark, span
 from repro.profiles.registry import default_registry
 from repro.tasks.base import Task
 from repro.utils.locks import KeyedMutex
 from repro.utils.lru import LruDict
+
+_log = get_logger(__name__)
 
 
 class EngineStateError(RuntimeError):
@@ -156,6 +164,20 @@ class DiscoveryEngine:
     staleness_budget:
         Default bound (seconds) on the age of the served snapshot when
         a refresher is attached; ``None`` serves whatever is current.
+    metrics:
+        Telemetry registry wiring: ``None`` (default) gives the engine
+        its own private :class:`~repro.obs.MetricsRegistry`; pass a
+        registry to share one across engines; ``False`` installs the
+        no-op registry (instrumentation compiled out — the honest
+        baseline ``benchmarks/bench_obs_overhead.py`` measures against).
+        The attached catalog store and refresher record into the same
+        registry.  Serving counters (``runs_started`` & co.) are views
+        over the registry either way.
+    tracing:
+        ``True`` (default) records a per-run trace tree (request →
+        prepare → per-round query evaluation) into every
+        :class:`DiscoveryRun`; ``False`` skips span bookkeeping
+        entirely (``run.trace`` stays ``None``).
     """
 
     def __init__(
@@ -173,6 +195,8 @@ class DiscoveryEngine:
         persist_results: bool = False,
         refresher=None,
         staleness_budget: float = None,
+        metrics=None,
+        tracing: bool = True,
     ):
         try:
             prepared = LruDict(capacity=max_prepared_sets)
@@ -211,9 +235,7 @@ class DiscoveryEngine:
         else:
             self._results = None  # disabled
         self.result_cache_bytes = result_cache_bytes
-        self.result_cache_hits = 0
         self.persist_results = bool(persist_results)
-        self.result_store_hits = 0
         #: In-flight reservations of result-cache slots: cache-key prefix
         #: -> threading.Event set when the owning submitted run resolves
         #: (completes, fails, or is cancelled while still queued).
@@ -244,15 +266,155 @@ class DiscoveryEngine:
         #: on-disk keys could carry, so the tier goes conservative).
         self._registry_baseline = (self.searchers.mutations, self.tasks.mutations)
         self._next_run_id = 1
-        self.runs_started = 0
-        self.runs_completed = 0
-        self.runs_cancelled = 0
-        self.runs_failed = 0
-        self.queries_served = 0
+        if metrics is False:
+            registry = NULL_REGISTRY
+        elif metrics is None:
+            registry = MetricsRegistry()
+        else:
+            registry = metrics
+        self._init_metrics(registry)
+        self.tracer = Tracer(enabled=tracing)
+        #: Serialized trace trees of the most recent live runs (replays
+        #: carry their original trace) — what ``--trace-out`` dumps.
+        self.recent_traces = deque(maxlen=32)
+        if self.catalog is not None and self.catalog.store is not None:
+            self.catalog.store.attach_metrics(registry)
         if corpus is not None:
             self.attach_corpus(corpus)
         if refresher is not None:
             self.attach_refresher(refresher, staleness_budget=staleness_budget)
+
+    def _init_metrics(self, registry) -> None:
+        """Register (get-or-create) every engine family on ``registry``,
+        plus the store and refresher families — so a metrics snapshot
+        names the full catalog of series even before a catalog or
+        refresher is attached.  Labeled children the serving path uses
+        are pre-touched for the same reason: zero shows as zero."""
+        self.metrics = registry
+        self._m_runs_started = registry.counter(
+            "repro_engine_runs_started_total",
+            "Runs started, live executions and cache replays alike.",
+        )
+        self._m_runs = registry.counter(
+            "repro_engine_runs_total",
+            "Runs finished, by terminal status.",
+            labels=("status",),
+        )
+        for status in ("completed", "cancelled", "failed"):
+            self._m_runs.labels(status=status)
+        self._m_queries = registry.counter(
+            "repro_engine_queries_served_total",
+            "Utility queries charged across all served runs.",
+        )
+        self._m_result_cache = registry.counter(
+            "repro_engine_result_cache_events_total",
+            "Result-cache activity (store_hit rides along with hit).",
+            labels=("event",),
+        )
+        for event in ("hit", "miss", "store_hit", "spill"):
+            self._m_result_cache.labels(event=event)
+        self._m_prepare_cache = registry.counter(
+            "repro_engine_prepare_cache_events_total",
+            "Prepared-candidate cache activity.",
+            labels=("event",),
+        )
+        for event in ("hit", "miss"):
+            self._m_prepare_cache.labels(event=event)
+        self._m_queue_depth = registry.gauge(
+            "repro_engine_submit_queue_depth",
+            "Submitted runs accepted but not yet executing.",
+        )
+        self._m_pool_active = registry.gauge(
+            "repro_engine_pool_active_workers",
+            "Worker-pool threads currently executing runs.",
+        )
+        self._m_pool_max = registry.gauge(
+            "repro_engine_pool_max_workers",
+            "Size of the bounded worker pool behind submit().",
+        )
+        self._m_pool_max.set(self.max_workers)
+        self._m_prepared_sets = registry.gauge(
+            "repro_engine_prepared_sets",
+            "Prepared-candidate sets resident in the LRU cache.",
+        )
+        self._m_cache_entries = registry.gauge(
+            "repro_engine_result_cache_entries",
+            "Recorded runs resident in the result cache.",
+        )
+        self._m_cache_bytes = registry.gauge(
+            "repro_engine_result_cache_bytes",
+            "Result-cache footprint (JSON run-record bytes).",
+        )
+        self._m_cache_reserved = registry.gauge(
+            "repro_engine_result_cache_reserved",
+            "In-flight reservations of result-cache slots.",
+        )
+        self._m_staleness_gauge = registry.gauge(
+            "repro_engine_last_sync_staleness_seconds",
+            "Refresher staleness observed at the last snapshot sync.",
+        )
+        self._m_staleness = registry.histogram(
+            "repro_engine_staleness_served_seconds",
+            "Refresher staleness at each request-boundary sync.",
+            buckets=(0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+        )
+        self._m_run_seconds = registry.histogram(
+            "repro_engine_run_seconds",
+            "End-to-end wall time of live runs, by terminal status.",
+            labels=("status",),
+        )
+        self._m_prepare_seconds = registry.histogram(
+            "repro_engine_prepare_seconds",
+            "Candidate-preparation wall time, by provenance.",
+            labels=("source",),
+        )
+        self._m_search_seconds = registry.histogram(
+            "repro_engine_search_seconds",
+            "Searcher wall time of live runs.",
+        )
+        self._m_run_rounds = registry.histogram(
+            "repro_engine_run_rounds",
+            "Search rounds per live run.",
+            buckets=(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+        )
+        self._m_round_gain = registry.histogram(
+            "repro_engine_round_utility_gain",
+            "Utility gained per completed search round.",
+            buckets=(0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.25, 0.5, 0.75, 1.0),
+        )
+        # Pre-register the families instrumented layers record into.
+        register_store_metrics(registry)
+        register_refresher_metrics(registry)
+
+    # Serving counters are read-only views over the metrics registry —
+    # one source of truth for stats(), exposition, and tests alike.
+    @property
+    def runs_started(self) -> int:
+        return int(self._m_runs_started.value)
+
+    @property
+    def runs_completed(self) -> int:
+        return int(self._m_runs.labels(status="completed").value)
+
+    @property
+    def runs_cancelled(self) -> int:
+        return int(self._m_runs.labels(status="cancelled").value)
+
+    @property
+    def runs_failed(self) -> int:
+        return int(self._m_runs.labels(status="failed").value)
+
+    @property
+    def queries_served(self) -> int:
+        return int(self._m_queries.value)
+
+    @property
+    def result_cache_hits(self) -> int:
+        return int(self._m_result_cache.labels(event="hit").value)
+
+    @property
+    def result_store_hits(self) -> int:
+        return int(self._m_result_cache.labels(event="store_hit").value)
 
     # ------------------------------------------------------------------
     # Construction / state
@@ -307,6 +469,7 @@ class DiscoveryEngine:
         adopted immediately (running a first cycle if none exists yet).
         """
         self._refresher = refresher
+        refresher.attach_metrics(self.metrics)
         # A different refresher numbers its epochs from 1 again; reset
         # so its first snapshot is always adopted.
         self._snapshot_epoch = 0
@@ -335,7 +498,11 @@ class DiscoveryEngine:
             else self._staleness_budget
         )
         snapshot = refresher.ensure_fresh(budget)
-        self.last_sync_staleness = refresher.staleness()
+        staleness = refresher.staleness()
+        self.last_sync_staleness = staleness
+        if staleness != float("inf"):
+            self._m_staleness.observe(staleness)
+            self._m_staleness_gauge.set(staleness)
         # <= not ==: a request that raced a background cycle may hold an
         # *older* snapshot than one a concurrent request just adopted —
         # installing it would regress the served corpus.
@@ -451,6 +618,7 @@ class DiscoveryEngine:
             corpus = self.corpus
             cached = self._prepared.get(key)
             if cached is not None:
+                self._m_prepare_cache.labels(event="hit").inc()
                 return list(cached), True, corpus
         if self.striped_prepare:
             guard = self._prepare_keys(key)
@@ -464,7 +632,9 @@ class DiscoveryEngine:
                 epoch = self._corpus_epoch
                 cached = self._prepared.get(key)
                 if cached is not None:
+                    self._m_prepare_cache.labels(event="hit").inc()
                     return list(cached), True, corpus
+            self._m_prepare_cache.labels(event="miss").inc()
             candidates = self._prepare_uncached(base, spec, registry, seed, corpus)
             with self._lock:
                 if epoch == self._corpus_epoch:
@@ -614,10 +784,11 @@ class DiscoveryEngine:
                         cache_key + (self._catalog_mutations(),), run, size=size
                     )
                 return self._replay(run, request, progress, tier="store")
+            self._m_result_cache.labels(event="miss").inc()
         with self._lock:
             run_id = self._next_run_id
             self._next_run_id += 1
-            self.runs_started += 1
+        self._m_runs_started.inc()
         context_box = [] if cache_key is not None else None
         try:
             run = self._serve(
@@ -637,8 +808,7 @@ class DiscoveryEngine:
         except BaseException:
             # Anything that escapes (bad searcher options, a task that
             # raises, a progress callback bug) still balances the books.
-            with self._lock:
-                self.runs_failed += 1
+            self._m_runs.labels(status="failed").inc()
             raise
         if cache_key is not None and run.completed and context_box:
             # Size by the JSON run record — the serializable footprint
@@ -657,6 +827,7 @@ class DiscoveryEngine:
             with self._lock:
                 self._results.put(cache_key + (mutations,), run, size=size)
             self._spill_persistent(cache_key, record, corpus_used)
+            self._m_result_cache.labels(event="spill").inc()
         return run
 
     def _replay(self, hit: DiscoveryRun, request, progress, tier="memory"):
@@ -665,7 +836,7 @@ class DiscoveryEngine:
         with self._lock:
             run_id = self._next_run_id
             self._next_run_id += 1
-            self.runs_started += 1
+        self._m_runs_started.inc()
         try:
             if progress is not None:
                 for event in hit.events:
@@ -673,23 +844,33 @@ class DiscoveryEngine:
         except BaseException:
             # A progress callback bug during a replay still balances the
             # books, exactly like a live run's.
-            with self._lock:
-                self.runs_failed += 1
+            self._m_runs.labels(status="failed").inc()
             raise
-        with self._lock:
-            self.runs_completed += 1
-            self.result_cache_hits += 1
-            if tier == "store":
-                self.result_store_hits += 1
-            # The replayed result's queries count as served: accounting
-            # stays comparable whether a run executed or replayed.
-            self.queries_served += hit.queries
+        self._m_runs.labels(status="completed").inc()
+        self._m_result_cache.labels(event="hit").inc()
+        if tier == "store":
+            self._m_result_cache.labels(event="store_hit").inc()
+        # The replayed result's queries count as served: accounting
+        # stays comparable whether a run executed or replayed.
+        self._m_queries.inc(hit.queries)
+        _log.debug(
+            "run replayed from result cache",
+            run_id=run_id,
+            searcher=request.searcher,
+            tier=tier,
+            original_run_id=hit.run_id,
+        )
         return replace(
             hit,
             run_id=run_id,
             request=request,
             events=list(hit.events),
             cached=True,
+            cache_info={
+                **hit.cache_info,
+                "result_cache_hit": True,
+                "result_cache_tier": tier,
+            },
         )
 
     def submit(
@@ -728,6 +909,16 @@ class DiscoveryEngine:
         owner_event = None
         wait_for = None
 
+        def _tracked(fn, *args):
+            # Runs on the worker thread: the handoff from "queued" to
+            # "executing" is what the two gauges chart.
+            self._m_queue_depth.dec()
+            self._m_pool_active.inc()
+            try:
+                return fn(*args)
+            finally:
+                self._m_pool_active.dec()
+
         def _follow():
             # By the time the owner resolves its record is admitted (or
             # it failed/cancelled, in which case this executes a normal
@@ -754,12 +945,27 @@ class DiscoveryEngine:
                     self._reservations[reservation_key] = owner_event
                 else:
                     wait_for = existing
+            self._m_queue_depth.inc()
             if wait_for is not None:
-                future = self._executor.submit(_follow)
+                future = self._executor.submit(_tracked, _follow)
             else:
                 future = self._executor.submit(
-                    self.discover, request, progress, token, staleness_budget
+                    _tracked,
+                    self.discover,
+                    request,
+                    progress,
+                    token,
+                    staleness_budget,
                 )
+
+        def _queue_drop(f):
+            # Cancelled-while-queued is the one resolution path where the
+            # tracked body never runs, so the queue gauge must be
+            # balanced here or it leaks one slot per dropped run.
+            if f.cancelled():
+                self._m_queue_depth.dec()
+
+        future.add_done_callback(_queue_drop)
         if owner_event is not None:
             def _release(_inner, key=reservation_key, event=owner_event):
                 with self._lock:
@@ -990,6 +1196,41 @@ class DiscoveryEngine:
         self, request, task, factory, run_id, progress, cancel,
         base_fingerprint=None, registry_fp=None, context_box=None,
     ):
+        with self.tracer.trace(
+            "discover",
+            run_id=run_id,
+            searcher=request.searcher,
+            task=request.task_name(),
+            base=request.base.name,
+        ) as trace_root:
+            # Ambient run/searcher fields: every log line emitted below
+            # this frame (query engine, tasks, catalog) carries them.
+            with log_context(run_id=run_id, searcher=request.searcher):
+                run = self._serve_inner(
+                    request, task, factory, run_id, progress, cancel,
+                    base_fingerprint, registry_fp, context_box,
+                )
+        _log.debug(
+            "run served",
+            run_id=run_id,
+            searcher=request.searcher,
+            status=run.status,
+            utility=run.utility,
+            queries=run.queries,
+            prepare_seconds=round(run.prepare_seconds, 6),
+            search_seconds=round(run.search_seconds, 6),
+        )
+        if trace_root is not None:
+            trace = trace_root.to_record()
+            run = replace(run, trace=trace)
+            with self._lock:
+                self.recent_traces.append(trace)
+        return run
+
+    def _serve_inner(
+        self, request, task, factory, run_id, progress, cancel,
+        base_fingerprint, registry_fp, context_box,
+    ):
         events = []
 
         def emit(event):
@@ -1011,26 +1252,27 @@ class DiscoveryEngine:
         # attach_corpus() can never pair one corpus's candidates with
         # another corpus's tables.
         start = time.perf_counter()
-        if request.candidates is not None:
-            candidates = list(request.candidates)
-            source = "request"
-            with self._lock:
-                corpus = self.corpus
-        else:
-            prepare_seed = (
-                request.seed
-                if request.prepare_seed is None
-                else request.prepare_seed
-            )
-            candidates, from_cache, corpus = self._prepare_cached(
-                request.base,
-                request.spec,
-                request.registry,
-                prepare_seed,
-                base_fingerprint=base_fingerprint,
-                registry_fp=registry_fp,
-            )
-            source = "cache" if from_cache else "prepared"
+        with span("prepare"):
+            if request.candidates is not None:
+                candidates = list(request.candidates)
+                source = "request"
+                with self._lock:
+                    corpus = self.corpus
+            else:
+                prepare_seed = (
+                    request.seed
+                    if request.prepare_seed is None
+                    else request.prepare_seed
+                )
+                candidates, from_cache, corpus = self._prepare_cached(
+                    request.base,
+                    request.spec,
+                    request.registry,
+                    prepare_seed,
+                    base_fingerprint=base_fingerprint,
+                    registry_fp=registry_fp,
+                )
+                source = "cache" if from_cache else "prepared"
         if context_box is not None:
             # Stamp the catalog state the run's inputs reflect *before*
             # the search: a catalog mutated while the search runs must
@@ -1041,6 +1283,7 @@ class DiscoveryEngine:
             with self._catalog_lock:
                 context_box.append((self._catalog_mutations(), corpus))
         prepare_seconds = time.perf_counter() - start
+        self._m_prepare_seconds.labels(source=source).observe(prepare_seconds)
         emit(
             CandidatesPrepared(
                 n_candidates=len(candidates),
@@ -1060,15 +1303,19 @@ class DiscoveryEngine:
             config=request.config,
             **request.options,
         )
-        self._attach_hooks(searcher, emit, cancel)
+        rounds_box = [0]
+        restore_hooks = self._attach_hooks(searcher, emit, cancel, rounds_box)
 
         start = time.perf_counter()
         status = "completed"
         result = None
         try:
-            result = searcher.run()
+            with span("search", n_candidates=len(candidates)):
+                result = searcher.run()
         except RunCancelled:
             status = "cancelled"
+        finally:
+            restore_hooks()
         search_seconds = time.perf_counter() - start
 
         query_engine = getattr(searcher, "engine", None)
@@ -1081,12 +1328,14 @@ class DiscoveryEngine:
                 seconds=search_seconds,
             )
         )
-        with self._lock:
-            self.queries_served += queries
-            if status == "completed":
-                self.runs_completed += 1
-            else:
-                self.runs_cancelled += 1
+        self._m_queries.inc(queries)
+        self._m_runs.labels(status=status).inc()
+        self._m_run_seconds.labels(status=status).observe(
+            prepare_seconds + search_seconds
+        )
+        self._m_search_seconds.observe(search_seconds)
+        if rounds_box[0]:
+            self._m_run_rounds.observe(rounds_box[0])
         return DiscoveryRun(
             run_id=run_id,
             request=request,
@@ -1097,6 +1346,11 @@ class DiscoveryEngine:
             candidate_source=source,
             prepare_seconds=prepare_seconds,
             search_seconds=search_seconds,
+            cache_info={
+                "prepare_source": source,
+                "prepare_cache_hit": source == "cache",
+                "result_cache_hit": False,
+            },
         )
 
     def _resolve_task(self, request: DiscoveryRequest) -> Task:
@@ -1108,30 +1362,116 @@ class DiscoveryEngine:
             )
         return request.task
 
-    @staticmethod
-    def _attach_hooks(searcher, emit, cancel: CancellationToken) -> None:
-        """Wire the run's event stream into the searcher's query engine."""
+    def _attach_hooks(
+        self, searcher, emit, cancel: CancellationToken, rounds_box
+    ):
+        """Wire the run's event stream into the searcher's query engine.
+
+        Every hook *chains* to whatever observer was already installed
+        (a searcher wired by its creator keeps its own callbacks), and
+        the returned restore callable puts the prior observers back —
+        a searcher instance reused across runs must not keep emitting
+        into a finished run's event list through a stale closure.
+        """
+        restores = []
         query_engine = getattr(searcher, "engine", None)
         if query_engine is not None:
+            prior_pre = query_engine.pre_query
+            prior_query = query_engine.on_query
+            prior_accept = query_engine.on_accept
             if cancel is not None:
-                query_engine.pre_query = cancel.raise_if_cancelled
-            query_engine.on_query = lambda index, value, best: emit(
-                QueryIssued(query_index=index, utility=value, best_utility=best)
-            )
-            query_engine.on_accept = lambda aug_id, utility, n_selected: emit(
-                AugmentationAccepted(
-                    aug_id=aug_id, utility=utility, n_selected=n_selected
+
+                def pre_query():
+                    if prior_pre is not None:
+                        prior_pre()
+                    cancel.raise_if_cancelled()
+
+                query_engine.pre_query = pre_query
+                restores.append(
+                    lambda: setattr(query_engine, "pre_query", prior_pre)
                 )
+
+            def on_query(index, value, best):
+                if prior_query is not None:
+                    prior_query(index, value, best)
+                mark("query", index=index, utility=value, best=best)
+                emit(
+                    QueryIssued(
+                        query_index=index, utility=value, best_utility=best
+                    )
+                )
+
+            query_engine.on_query = on_query
+            restores.append(lambda: setattr(query_engine, "on_query", prior_query))
+
+            def on_accept(aug_id, utility, n_selected):
+                if prior_accept is not None:
+                    prior_accept(aug_id, utility, n_selected)
+                emit(
+                    AugmentationAccepted(
+                        aug_id=aug_id, utility=utility, n_selected=n_selected
+                    )
+                )
+
+            query_engine.on_accept = on_accept
+            restores.append(
+                lambda: setattr(query_engine, "on_accept", prior_accept)
             )
         if hasattr(searcher, "on_round"):
-            searcher.on_round = lambda index, utility, queries, committed: emit(
-                RoundCompleted(
-                    round_index=index,
+            # ``on_round`` is usually a class-level default (None): track
+            # whether the *instance* carried one, so restoring removes
+            # our shadow instead of pinning the class default in place.
+            had_instance = "on_round" in getattr(searcher, "__dict__", {})
+            prior_round = searcher.on_round
+            prev_utility = [None]
+
+            def on_round(index, utility, queries, committed):
+                if prior_round is not None:
+                    prior_round(index, utility, queries, committed)
+                prev = prev_utility[0]
+                if prev is None and query_engine is not None:
+                    # The base (unaugmented) utility is the first query
+                    # every searcher issues, so it is always cached by
+                    # round one — the natural zero of per-round gain.
+                    prev = query_engine.cached_utility(frozenset())
+                if prev is not None:
+                    self._m_round_gain.observe(max(0.0, utility - prev))
+                prev_utility[0] = utility
+                rounds_box[0] = index
+                mark(
+                    "round",
+                    index=index,
                     utility=utility,
                     queries=queries,
                     committed=committed,
                 )
-            )
+                emit(
+                    RoundCompleted(
+                        round_index=index,
+                        utility=utility,
+                        queries=queries,
+                        committed=committed,
+                    )
+                )
+
+            searcher.on_round = on_round
+
+            def restore_round():
+                if had_instance:
+                    searcher.on_round = prior_round
+                else:
+                    try:
+                        del searcher.on_round
+                    except AttributeError:
+                        pass
+
+            restores.append(restore_round)
+
+        def restore():
+            for undo in reversed(restores):
+                undo()
+
+        return restore
 
     # ------------------------------------------------------------------
     # Reporting
@@ -1156,8 +1496,28 @@ class DiscoveryEngine:
         index = DiscoveryIndex(min_containment=0.3, seed=seed).build(corpus)
         return corpus_characteristics(corpus, index)
 
+    def _refresh_gauges(self) -> None:
+        """Bring the derived gauges (cache occupancy, pool shape) up to
+        date with the engine's live state — counters and histograms are
+        written at the event sites and never need this."""
+        with self._lock:
+            self._m_prepared_sets.set(len(self._prepared))
+            self._m_cache_entries.set(
+                len(self._results) if self._results is not None else 0
+            )
+            self._m_cache_bytes.set(
+                self._results.total_bytes if self._results is not None else 0
+            )
+            self._m_cache_reserved.set(len(self._reservations))
+        self._m_pool_max.set(self.max_workers)
+
     def stats(self) -> dict:
-        """Engine-level serving statistics."""
+        """Engine-level serving statistics (registry-backed)."""
+        self._refresh_gauges()
+        result_hits = self.result_cache_hits
+        result_misses = int(self._m_result_cache.labels(event="miss").value)
+        prepare_hits = int(self._m_prepare_cache.labels(event="hit").value)
+        prepare_misses = int(self._m_prepare_cache.labels(event="miss").value)
         with self._lock:
             out = {
                 "runs_started": self.runs_started,
@@ -1168,7 +1528,25 @@ class DiscoveryEngine:
                 "prepared_candidate_sets": len(self._prepared),
                 "active_prepares": len(self._prepare_keys),
                 "async_pool_active": self._executor is not None,
-                "result_cache_hits": self.result_cache_hits,
+                "queue_depth": int(self._m_queue_depth.value),
+                "pool_active": int(self._m_pool_active.value),
+                "pool_utilization": (
+                    self._m_pool_active.value / self.max_workers
+                ),
+                "prepare_cache_hits": prepare_hits,
+                "prepare_cache_misses": prepare_misses,
+                "prepare_cache_hit_rate": (
+                    prepare_hits / (prepare_hits + prepare_misses)
+                    if prepare_hits + prepare_misses
+                    else 0.0
+                ),
+                "result_cache_hits": result_hits,
+                "result_cache_misses": result_misses,
+                "result_cache_hit_rate": (
+                    result_hits / (result_hits + result_misses)
+                    if result_hits + result_misses
+                    else 0.0
+                ),
                 "result_cache_entries": (
                     len(self._results) if self._results is not None else 0
                 ),
@@ -1180,6 +1558,7 @@ class DiscoveryEngine:
                 "result_store_active": self._persist_store() is not None,
                 "snapshot_epoch": self._snapshot_epoch,
                 "refresher_attached": self._refresher is not None,
+                "last_sync_staleness": self.last_sync_staleness,
                 "corpus_tables": len(self._corpus) if self._corpus else 0,
                 "searchers": self.searchers.names(),
             }
@@ -1193,3 +1572,15 @@ class DiscoveryEngine:
             with self._catalog_lock:
                 out["catalog"] = self.catalog.stats()
         return out
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-safe snapshot of every registered metric family (derived
+        gauges refreshed first).  Empty with ``metrics=False``."""
+        self._refresh_gauges()
+        return self.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the engine's registry (derived
+        gauges refreshed first).  Empty with ``metrics=False``."""
+        self._refresh_gauges()
+        return self.metrics.to_prometheus()

@@ -42,6 +42,16 @@ class DiscoveryRun:
         ``True`` when the engine served this run from its result cache —
         result, events, and timings are those of the original execution;
         only ``run_id`` (and this flag) are fresh.
+    cache_info:
+        Cache behavior of this serving, recorded explicitly so archived
+        records (and benchmarks) can assert on it instead of inferring
+        from timings: ``prepare_source`` / ``prepare_cache_hit`` for the
+        prepared-candidate cache, ``result_cache_hit`` (plus
+        ``result_cache_tier``, ``"memory"`` or ``"store"``) for replays.
+    trace:
+        Serialized per-run trace tree (``Span.to_record()`` form), or
+        ``None`` when tracing was disabled; replays carry the original
+        execution's trace.
     """
 
     run_id: int
@@ -54,6 +64,8 @@ class DiscoveryRun:
     prepare_seconds: float = 0.0
     search_seconds: float = 0.0
     cached: bool = False
+    cache_info: dict = field(default_factory=dict)
+    trace: dict = None
 
     @property
     def completed(self) -> bool:
@@ -97,11 +109,13 @@ class DiscoveryRun:
             "n_candidates": self.n_candidates,
             "candidate_source": self.candidate_source,
             "cached": self.cached,
+            "caches": dict(self.cache_info),
             "timings": {
                 "prepare_seconds": self.prepare_seconds,
                 "search_seconds": self.search_seconds,
             },
             "events": [event.to_record() for event in self.events],
+            **({"trace": self.trace} if self.trace is not None else {}),
         }
 
     def save(self, path: str) -> None:
@@ -137,4 +151,6 @@ class DiscoveryRun:
             search_seconds=float(
                 record.get("timings", {}).get("search_seconds", 0.0)
             ),
+            cache_info=dict(record.get("caches") or {}),
+            trace=record.get("trace"),
         )

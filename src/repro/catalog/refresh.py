@@ -44,6 +44,41 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.fingerprint import corpus_fingerprint, table_fingerprint
 from repro.catalog.store import CatalogStore
 from repro.dataframe.table import normalize_corpus
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
+
+#: Cycle-duration buckets: a quiet cycle is sub-millisecond (identity
+#: scan only); a full re-sign of a large corpus runs into the seconds.
+CYCLE_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def register_refresher_metrics(registry):
+    """Get-or-create the refresher's metric families on ``registry``
+    (shared with the engine's pre-registration pass)."""
+    return {
+        "cycles": registry.counter(
+            "repro_refresher_cycles_total",
+            "Refresh cycles completed, by whether the corpus changed.",
+            labels=("changed",),
+        ),
+        "cycle_seconds": registry.histogram(
+            "repro_refresher_cycle_seconds",
+            "Wall time of one scan/refresh/publish cycle.",
+            buckets=CYCLE_BUCKETS,
+        ),
+        "tables_resigned": registry.counter(
+            "repro_refresher_tables_resigned_total",
+            "Tables re-signed (added or updated) by changed cycles.",
+        ),
+        "errors": registry.counter(
+            "repro_refresher_errors_total",
+            "Cycles that failed (the last good snapshot keeps serving).",
+        ),
+    }
 
 
 class CatalogSnapshot:
@@ -163,6 +198,17 @@ class CatalogRefresher:
         self.changed_cycles = 0
         self.errors = 0
         self.last_error = None
+        #: Metric family handles (see :meth:`attach_metrics`).
+        self.obs = None
+
+    def attach_metrics(self, registry) -> "CatalogRefresher":
+        """Record cycle durations, change counts, re-signed tables, and
+        loop errors on ``registry``; a store is instrumented along with
+        it.  Returns ``self``."""
+        self.obs = register_refresher_metrics(registry)
+        if self.store is not None:
+            self.store.attach_metrics(registry)
+        return self
 
     # ------------------------------------------------------------------
     # Reading (never blocks on refresh)
@@ -246,6 +292,9 @@ class CatalogRefresher:
             with self._state_lock:
                 self._checked_at = started
             self.cycles += 1
+            if self.obs is not None:
+                self.obs["cycles"].labels(changed="false").inc()
+                self.obs["cycle_seconds"].observe(time.monotonic() - started)
             self._observe(previous, changed=False)
             return previous
         catalog = self._build_catalog(corpus, fingerprints)
@@ -270,6 +319,20 @@ class CatalogRefresher:
             self._checked_at = started
         self.cycles += 1
         self.changed_cycles += 1
+        if self.obs is not None:
+            self.obs["cycles"].labels(changed="true").inc()
+            self.obs["cycle_seconds"].observe(time.monotonic() - started)
+            resigned = len(diff.added) + len(diff.updated)
+            if resigned:
+                self.obs["tables_resigned"].inc(resigned)
+        _log.debug(
+            "refresh cycle published snapshot",
+            epoch=snapshot.epoch,
+            added=len(diff.added),
+            updated=len(diff.updated),
+            removed=len(diff.removed),
+            seconds=round(time.monotonic() - started, 6),
+        )
         self._observe(snapshot, changed=True)
         return snapshot
 
@@ -335,6 +398,13 @@ class CatalogRefresher:
                 # last good snapshot, never kill the maintenance loop.
                 self.errors += 1
                 self.last_error = error
+                if self.obs is not None:
+                    self.obs["errors"].inc()
+                _log.debug(
+                    "refresh cycle failed; serving last good snapshot",
+                    error=repr(error),
+                    consecutive_errors=self.errors,
+                )
             if stop.wait(self.interval):
                 return
 

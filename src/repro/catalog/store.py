@@ -96,6 +96,80 @@ READABLE_VERSIONS = frozenset({1, VERSION})
 # Overridable clock for deterministic LRU tests.
 _now = time.time
 
+#: FileLock wait-time buckets: finer than the default latency buckets at
+#: the small end — uncontended flock acquisition is tens of microseconds.
+LOCK_WAIT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def register_store_metrics(registry):
+    """Get-or-create the store's metric families on ``registry``.
+
+    Shared by :meth:`CatalogStore.attach_metrics` and by the engine's
+    pre-registration pass (so exposition covers the store families even
+    before a store-backed catalog is attached)."""
+    return {
+        "reads": registry.counter(
+            "repro_store_reads_total",
+            "Artifacts read from the sharded store, by section.",
+            labels=("section",),
+        ),
+        "writes": registry.counter(
+            "repro_store_writes_total",
+            "Artifacts written to the sharded store, by section.",
+            labels=("section",),
+        ),
+        "read_bytes": registry.counter(
+            "repro_store_read_bytes_total",
+            "Bytes read from store artifacts, by section.",
+            labels=("section",),
+        ),
+        "write_bytes": registry.counter(
+            "repro_store_write_bytes_total",
+            "Bytes written to store artifacts, by section.",
+            labels=("section",),
+        ),
+        "lock_wait": registry.histogram(
+            "repro_store_lock_wait_seconds",
+            "Advisory FileLock acquisition wait time, by store section.",
+            labels=("section",),
+            buckets=LOCK_WAIT_BUCKETS,
+        ),
+        "manifest_replays": registry.counter(
+            "repro_store_manifest_replays_total",
+            "Shard manifest delta logs replayed by readers.",
+        ),
+        "tombstone_sweeps": registry.counter(
+            "repro_store_tombstone_sweeps_total",
+            "Tombstone sweep passes over the object shards.",
+        ),
+        "tombstones_swept": registry.counter(
+            "repro_store_tombstones_swept_total",
+            "Orphaned data files removed by tombstone sweeps.",
+        ),
+    }
+
+
+class _TimedLock:
+    """A :class:`FileLock` wrapper that times acquisition waits."""
+
+    __slots__ = ("_lock", "_histogram")
+
+    def __init__(self, lock, histogram):
+        self._lock = lock
+        self._histogram = histogram
+
+    def __enter__(self):
+        start = time.perf_counter()
+        self._lock.__enter__()
+        self._histogram.observe(time.perf_counter() - start)
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._lock.__exit__(*exc_info)
+
 
 class CatalogStoreError(RuntimeError):
     """Raised on store corruption or configuration mismatch."""
@@ -444,19 +518,49 @@ class CatalogStore:
         #: from it to kill a writer mid-protocol; ``None`` (the default)
         #: is free.
         self.fault_hook = None
+        #: Metric family handles (see :meth:`attach_metrics`); ``None``
+        #: keeps every instrumentation site free.
+        self.obs = None
 
     def _fault(self, point: str) -> None:
         if self.fault_hook is not None:
             self.fault_hook(point)
 
+    def attach_metrics(self, registry) -> "CatalogStore":
+        """Record store activity (reads/writes/bytes, lock waits,
+        manifest replays, tombstone sweeps) on ``registry``.  Families
+        are get-or-create, so attaching many stores to one registry
+        aggregates them.  Returns ``self``."""
+        self.obs = register_store_metrics(registry)
+        return self
+
+    def _count(self, name: str, section: str, amount: float = 1.0) -> None:
+        if self.obs is not None:
+            self.obs[name].labels(section=section).inc(amount)
+
     # ------------------------------------------------------------------
     # Locks
     # ------------------------------------------------------------------
-    def _dir_lock(self, directory: str) -> FileLock:
-        """Advisory file lock guarding one directory's manifest."""
-        return FileLock(os.path.join(directory, self.LOCK_NAME))
+    def _lock_section(self, directory: str) -> str:
+        """Store section a lock path belongs to (the metric label)."""
+        rel = os.path.relpath(directory, self.root)
+        if rel == ".":
+            return "root"
+        head = rel.split(os.sep, 1)[0]
+        return head if head in ("objects", "profiles", "results") else "other"
 
-    def root_lock(self) -> FileLock:
+    def _dir_lock(self, directory: str):
+        """Advisory file lock guarding one directory's manifest (wait
+        time lands in the lock-wait histogram when metrics are on)."""
+        lock = FileLock(os.path.join(directory, self.LOCK_NAME))
+        if self.obs is None:
+            return lock
+        return _TimedLock(
+            lock,
+            self.obs["lock_wait"].labels(section=self._lock_section(directory)),
+        )
+
+    def root_lock(self):
         """Advisory file lock guarding whole-store transitions (the root
         manifest + snapshot pair); taken by :meth:`Catalog.save` so
         concurrent savers merge instead of overwriting each other."""
@@ -555,7 +659,10 @@ class CatalogStore:
             with open(self._shard_log_path(shard_dir), "rb") as handle:
                 data = handle.read()
         except OSError:
+            # No delta log: the overwhelmingly common case, not a replay.
             return payload
+        if self.obs is not None:
+            self.obs["manifest_replays"].inc()
         for line in data.splitlines():
             line = line.strip()
             if not line:
@@ -827,6 +934,8 @@ class CatalogStore:
         blob = DEFAULT_CODEC.encode(meta, entries)
         with self._dir_lock(shard_dir):
             _atomic_write_bytes(path, blob)
+            self._count("writes", "objects")
+            self._count("write_bytes", "objects", len(blob))
             # Tombstone clear *before* the object record: both land in
             # one append, but if the filesystem tears it, every prefix
             # is still consistent (a cleared tombstone with the object
@@ -861,11 +970,14 @@ class CatalogStore:
             except FileNotFoundError:
                 continue
             try:
-                return codec.decode(blob)
+                decoded = codec.decode(blob)
             except CatalogStoreError as error:
                 raise CatalogStoreError(
                     f"corrupt catalog object at {path!r}: {error}"
                 ) from error
+            self._count("reads", "objects")
+            self._count("read_bytes", "objects", len(blob))
+            return decoded
         raise KeyError(f"no catalog object {fingerprint!r}")
 
     def read_object_meta(self, fingerprint: str) -> dict:
@@ -1001,6 +1113,10 @@ class CatalogStore:
                                 removed += 1
             except OSError:
                 continue
+        if self.obs is not None:
+            self.obs["tombstone_sweeps"].inc()
+            if removed:
+                self.obs["tombstones_swept"].inc(removed)
         return removed
 
     def _extensions(self):
@@ -1160,6 +1276,8 @@ class CatalogStore:
             # LRU bookkeeping happens outside the load guard: a failed
             # touch must never discard a successfully loaded cache.
             self._touch_profile_group(base_fingerprint)
+            self._count("reads", "profiles")
+            self._count("read_bytes", "profiles", _file_size(path))
             return entries
         # Layout-v1 flat JSON group (read-through; migrated on next write).
         try:
@@ -1208,6 +1326,8 @@ class CatalogStore:
             )
             blob = buffer.getvalue()
             _atomic_write_bytes(path, blob)
+            self._count("writes", "profiles")
+            self._count("write_bytes", "profiles", len(blob))
             self._update_shard_manifest(
                 shard_dir,
                 "groups",
@@ -1316,6 +1436,8 @@ class CatalogStore:
         blob = json.dumps(payload, sort_keys=True).encode("utf-8")
         with self._dir_lock(shard_dir):
             _atomic_write_bytes(path, blob)
+            self._count("writes", "results")
+            self._count("write_bytes", "results", len(blob))
             self._update_shard_manifest(
                 shard_dir,
                 "results",
@@ -1335,7 +1457,8 @@ class CatalogStore:
         survive budget enforcement."""
         try:
             with open(self._result_path(key), "rb") as handle:
-                payload = json.loads(handle.read().decode("utf-8"))
+                raw = handle.read()
+            payload = json.loads(raw.decode("utf-8"))
         except FileNotFoundError:
             return None
         except (OSError, ValueError, UnicodeDecodeError):
@@ -1343,6 +1466,8 @@ class CatalogStore:
         if not isinstance(payload, dict):
             return None
         self._touch_result(key)
+        self._count("reads", "results")
+        self._count("read_bytes", "results", len(raw))
         return payload
 
     def _touch_result(self, key: str) -> None:

@@ -11,6 +11,14 @@ Commands
     worker pool (identical results, overlapped wall-clock);
     ``--no-result-cache`` disables the engine's result cache.  Ctrl-C
     cancels the comparison cooperatively and exits with status 130.
+``stats``
+    Run one small discovery twice on a telemetry-instrumented engine
+    (store-backed refresher attached, second request served from the
+    result cache) and print the engine's metrics in Prometheus text
+    exposition format (``--json`` for the JSON snapshot).  ``repro run
+    --metrics-out/--trace-out`` capture the same telemetry from a real
+    comparison; the top-level ``--log-level``/``--log-json`` flags
+    control the structured log stream on stderr.
 ``corpus-stats``
     Generate a synthetic corpus and print its Table-I characteristics —
     or, with ``--catalog DIR``, serve the report straight from a saved
@@ -36,6 +44,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 
@@ -49,6 +58,7 @@ from repro.core.config import MetamConfig
 from repro.core.plotting import render_traces
 from repro.core.runner import compare_searchers, validate_comparison
 from repro.core.serialization import save_results
+from repro.obs.logcfg import _ensure_default_handler, configure_logging, get_logger
 
 _SCENARIO_REGISTRY = default_scenarios()
 
@@ -62,14 +72,41 @@ SCENARIOS = {
 }
 
 
+#: CLI diagnostics go through the structured "repro" logger: the text
+#: formatter keeps the exact ``error: ...`` / ``warning: ...`` stderr
+#: shapes the tests (and shell users) expect, while ``--log-json``
+#: upgrades the same stream to machine-readable lines for free.
+_log = get_logger("cli")
+
+
 def _error(message: str) -> None:
-    print(f"error: {message}", file=sys.stderr)
+    _ensure_default_handler()
+    _log.error(message)
+
+
+def _warn(message: str) -> None:
+    _ensure_default_handler()
+    _log.warning(message)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="METAM: goal-oriented data discovery (ICDE 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="threshold for the structured log stream on stderr "
+        "(default warning; debug narrates runs, queries, and refresh "
+        "cycles)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as one JSON object per line instead of "
+        "'level: message [k=v ...]' text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -111,6 +148,22 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical to the refresher-less path",
     )
     run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="after the comparison, write the serving engine's metrics "
+        "here: Prometheus text exposition format, or a JSON snapshot "
+        "when PATH ends in .json",
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="after the comparison, write the engine's recent per-run "
+        "trace trees here as a JSON list (one tree per served run: "
+        "prepare/search spans with per-round and per-query marks)",
+    )
+    run.add_argument(
         "--no-result-cache",
         action="store_true",
         help="build the serving engine without its result cache.  The "
@@ -119,6 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-prepared candidates (which bypass the cache by design), "
         "so for 'repro run' itself this only pins down the engine "
         "configuration",
+    )
+
+    telemetry = sub.add_parser(
+        "stats",
+        help="run a small instrumented discovery and print the "
+        "engine's metrics (Prometheus text, or --json)",
+    )
+    telemetry.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="clustering"
+    )
+    telemetry.add_argument("--budget", type=int, default=20, help="query budget")
+    telemetry.add_argument("--theta", type=float, default=0.6, help="target utility")
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the JSON metrics snapshot (quantile estimates "
+        "included) instead of Prometheus text",
     )
 
     stats = sub.add_parser("corpus-stats", help="Table-I style corpus stats")
@@ -358,6 +430,87 @@ def _cmd_run(args) -> int:
     if args.save:
         save_results(report.runs[0], args.save)
         print(f"\nResults written to {args.save}")
+    # Telemetry outlives shutdown(): the registry and the trace ring
+    # are plain in-memory state, so exporting after the pool is gone is
+    # safe (and captures the final gauge values).
+    if args.metrics_out:
+        _write_metrics(engine, args.metrics_out)
+        print(f"Metrics written to {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(list(engine.recent_traces), handle, indent=2)
+        print(f"Traces written to {args.trace_out}")
+    return 0
+
+
+def _write_metrics(engine: DiscoveryEngine, path: str) -> None:
+    payload = (
+        engine.metrics_snapshot()
+        if path.endswith(".json")
+        else engine.metrics_prometheus()
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        if isinstance(payload, str):
+            handle.write(payload)
+        else:
+            json.dump(payload, handle, indent=2)
+
+
+def _cmd_stats(args) -> int:
+    """One small discovery on a fully instrumented engine.
+
+    The engine serves through a store-backed refresher (shard-lock and
+    store read/write metrics included), the first request goes through
+    ``submit()`` (queue/pool gauges move), and the second identical
+    ``discover()`` replays from the result cache — so the exposition
+    covers every subsystem with real, nonzero samples.
+    """
+    import os
+    import tempfile
+
+    from repro.api.request import DiscoveryRequest
+    from repro.catalog import CatalogRefresher, CatalogStore
+
+    scenario = SCENARIOS[args.scenario](seed=args.seed)
+    engine = DiscoveryEngine(
+        corpus=scenario.corpus, result_cache_bytes=_RESULT_CACHE_BYTES
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        refresher = CatalogRefresher(
+            lambda: scenario.corpus,
+            store=CatalogStore(os.path.join(tmp, "catalog")),
+            interval=60.0,
+            staleness_budget=300.0,
+            seed=args.seed,
+        ).start()
+        engine.attach_refresher(refresher)
+        # The task goes in by registry *name*: task objects are
+        # uncacheable by design, and the second request must replay
+        # from the result cache to put a hit on the board.
+        engine.tasks.register(
+            "cli-stats-task", lambda **_options: scenario.task
+        )
+        request = DiscoveryRequest(
+            base=scenario.base,
+            task="cli-stats-task",
+            searcher="metam",
+            config=MetamConfig(
+                theta=args.theta,
+                query_budget=args.budget,
+                epsilon=0.1,
+                seed=args.seed,
+            ),
+        )
+        try:
+            engine.submit(request).result()
+            engine.discover(request)
+        finally:
+            engine.shutdown()
+            refresher.stop()
+    if args.as_json:
+        print(json.dumps(engine.metrics_snapshot(), indent=2, sort_keys=True))
+    else:
+        print(engine.metrics_prometheus())
     return 0
 
 
@@ -374,10 +527,7 @@ def _cmd_corpus_stats(args) -> int:
     if args.batch_tables is not None and args.catalog is None:
         # The in-memory path has no streaming pass; a silent no-op would
         # read as "memory is bounded" when it is not.
-        print(
-            "warning: --batch-tables only applies with --catalog; ignored",
-            file=sys.stderr,
-        )
+        _warn("--batch-tables only applies with --catalog; ignored")
     batch_tables = args.batch_tables if args.batch_tables is not None else 256
     batch = batch_tables if batch_tables > 0 else None
     try:
@@ -673,10 +823,18 @@ def _save_corpus_args(catalog_dir: str, corpus_args: dict) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # (Re)configure on every entry so repeated in-process invocations
+    # (the test suite, notebooks) pick up the current flags and the
+    # current stderr.
+    configure_logging(
+        level=args.log_level, fmt="json" if args.log_json else "text"
+    )
     if args.command == "list-scenarios":
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "corpus-stats":
         return _cmd_corpus_stats(args)
     if args.command == "catalog":

@@ -9,6 +9,9 @@ and it records the best-utility-so-far trace that Figures 3-5/7 plot.
 from __future__ import annotations
 
 from repro.dataframe.table import Table
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 
 class QueryBudgetExhausted(Exception):
@@ -104,6 +107,15 @@ class QueryEngine:
         self._cache[key] = value
         self._best = max(self._best, value)
         self.trace.append((self.queries, self._best))
+        # Charged queries only (a cache hit returns above): the line is
+        # per-model-fit, so its cost is noise even at debug level.
+        _log.debug(
+            "utility query",
+            query=self.queries,
+            set_size=len(key),
+            utility=value,
+            best=self._best,
+        )
         if self.on_query is not None:
             self.on_query(self.queries, value, self._best)
         return value

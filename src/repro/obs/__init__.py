@@ -1,0 +1,56 @@
+"""Telemetry: metrics registry, per-run trace trees, structured logs.
+
+Zero external dependencies.  The three pillars:
+
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms with Prometheus-text and JSON exposition.
+- :mod:`repro.obs.tracing` — :class:`Tracer`/:class:`Span` trace trees
+  scoped through contextvars; ``span()`` is free when no trace is live.
+- :mod:`repro.obs.logcfg` — structured logging with ambient run/session
+  context and text/JSON formatters.
+"""
+
+from repro.obs.logcfg import (
+    JsonFormatter,
+    StructuredLogger,
+    TextFormatter,
+    configure_logging,
+    context_fields,
+    get_logger,
+    log_context,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import MAX_CHILDREN, Span, Tracer, active_span, mark, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MAX_CHILDREN",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "StructuredLogger",
+    "TextFormatter",
+    "Tracer",
+    "active_span",
+    "configure_logging",
+    "context_fields",
+    "get_logger",
+    "log_context",
+    "mark",
+    "span",
+]

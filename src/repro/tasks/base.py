@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from repro.dataframe.table import Table
 from repro.ml.model_selection import group_train_test_split, train_test_split
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 
 def split_features(
@@ -20,13 +23,20 @@ def split_features(
     the split keeps whole groups together so per-key columns cannot leak
     label information into the test set.
     """
-    if group_column is not None and group_column in table:
-        return group_train_test_split(
-            x,
-            y,
-            table.column(group_column),
-            test_fraction=test_fraction,
-            seed=seed,
+    if group_column is not None:
+        if group_column in table:
+            return group_train_test_split(
+                x,
+                y,
+                table.column(group_column),
+                test_fraction=test_fraction,
+                seed=seed,
+            )
+        # A requested group column that is absent silently weakens the
+        # leakage guarantee — surface the fallback instead of hiding it.
+        _log.debug(
+            "group column absent; falling back to row split",
+            group_column=group_column,
         )
     return train_test_split(x, y, test_fraction=test_fraction, seed=seed)
 
