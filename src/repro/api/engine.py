@@ -421,19 +421,33 @@ class DiscoveryEngine:
     # ------------------------------------------------------------------
     @classmethod
     def open(
-        cls, catalog_dir, corpus=None, create: bool = True, **config
+        cls,
+        catalog_dir,
+        corpus=None,
+        create: bool = True,
+        backend=None,
+        **config,
     ) -> "DiscoveryEngine":
         """Engine backed by the persistent catalog at ``catalog_dir``.
 
         ``create=True`` (default) creates the catalog when none exists
         (``config`` applies only then); ``create=False`` requires a saved
         catalog and raises :class:`~repro.catalog.CatalogStoreError`
-        otherwise.  ``corpus`` is attached when given.
+        otherwise.  ``corpus`` is attached when given.  ``backend``
+        selects the store layout (``"local"``/``"segments"``) for fresh
+        roots; an existing root auto-detects its layout regardless.
         """
+        from repro.catalog.store import CatalogStore
+
+        root = (
+            catalog_dir
+            if isinstance(catalog_dir, CatalogStore)
+            else CatalogStore(catalog_dir, backend=backend)
+        )
         if create:
-            catalog = Catalog.open(catalog_dir, **config)
+            catalog = Catalog.open(root, **config)
         else:
-            catalog = Catalog.load(catalog_dir)
+            catalog = Catalog.load(root)
         return cls(corpus=corpus, catalog=catalog)
 
     def attach_corpus(self, corpus) -> "DiscoveryEngine":

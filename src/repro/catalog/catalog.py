@@ -200,6 +200,10 @@ class Catalog:
                 # to the eager path, which recomputes and re-persists.
                 and self.store.has_object(object_id)
             ):
+                # Adopting an existing object: stamp this catalog's
+                # writer lease on it so a racing gc (whose live set
+                # predates this adoption) leaves it alone until save().
+                self.store.claim_object(object_id)
                 self._index.add_table_hydrated(table, signatures)
                 self._fingerprints[table.name] = fingerprint
                 self._removed_since_save.discard(table.name)
@@ -211,6 +215,7 @@ class Catalog:
         if self.store is not None and self.store.has_object(object_id):
             try:
                 _meta, entries = self.store.read_object(object_id)
+                self.store.claim_object(object_id)
                 self.loaded_columns += len(entries)
             except CatalogStoreError:
                 # Corrupt object: recompute from the live table below and
@@ -507,6 +512,10 @@ class Catalog:
             # store.
             self.store.write_snapshot(rows)
             self.store.write_manifest(self.config, combined)
+        # The manifest now references everything this catalog wrote or
+        # adopted; ownership transfers from the writer lease to the
+        # manifest, so the lease can be returned.
+        self.store.release_writer_lease()
         self._persisted = combined
         self._removed_since_save = set()
         self._removed_fingerprints = {}
@@ -524,16 +533,21 @@ class Catalog:
         """
         if self.store is None:
             return 0
-        manifest = self.store.read_manifest() or {"tables": {}}
-        live = {
-            self._object_id(fingerprint)
-            for fingerprint in (
-                *self._fingerprints.values(),
-                *self._persisted.values(),
-                *manifest["tables"].values(),
-            )
-        }
-        return self.store.gc(live)
+
+        def live_now():
+            # Re-read the manifest *at check time*: a peer's save() that
+            # landed after this gc's initial scan re-animates its objects.
+            manifest = self.store.read_manifest() or {"tables": {}}
+            return {
+                self._object_id(fingerprint)
+                for fingerprint in (
+                    *self._fingerprints.values(),
+                    *self._persisted.values(),
+                    *manifest["tables"].values(),
+                )
+            }
+
+        return self.store.gc(live_now(), live_check=live_now)
 
     def verify(self) -> dict:
         """Integrity check of the persisted catalog.

@@ -1,0 +1,208 @@
+"""Lease-based write ownership for the catalog store.
+
+The gc liveness race: ``gc`` computes its live set from the root
+manifest, a concurrent builder then writes a new object, and gc —
+scanning objects, not intents — reclaims it before the builder's
+``save()`` records the reference.  Shard locks cannot close this gap:
+the write and the delete are both individually well-formed; what is
+missing is *ownership* spanning the builder's write→save window.
+
+A :class:`LeaseManager` gives writers exactly that: a time-bounded
+lease with a monotonically increasing **fencing token** drawn from a
+store-wide counter.  A writer acquires a lease before its first object
+write, stamps the token on every object record it lands, renews while
+it works, and releases after its ``save()`` publishes the references.
+``gc`` then refuses to reclaim any unreferenced object whose stamped
+token belongs to a currently active lease — the object is work in
+flight, not garbage.  A writer that crashes stops renewing; its lease
+expires after ``ttl`` (+ the configured clock-skew allowance) and its
+orphaned objects become collectible, so leases bound the damage of any
+failure to one TTL window instead of leaking forever.
+
+Fencing tokens are what make the scheme safe across restarts: tokens
+never repeat, so an object stamped by a dead writer's lease can never
+be confused with one stamped by a live writer that happens to reuse
+the same owner name — gc compares tokens, not identities.
+
+Lease state lives in the store itself (``leases/<owner>.json`` plus the
+``leases/.seq`` counter, maintained under a backend lock), so every
+process — and every node, once the backend spans machines — observes
+one coherent ownership map.  Expiry is judged by clamped age
+(``max(0, now - acquired)``): a reader whose clock lags the writer's
+computes a *negative* age and simply sees the lease as fresh, never as
+expired-before-it-began.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+
+#: Default lease lifetime (seconds): long enough for a builder's
+#: write→save window under heavy load, short enough that a crashed
+#: writer's orphans are collectible promptly.
+DEFAULT_LEASE_TTL = 600.0
+
+LEASE_DIR = "leases"
+SEQ_NAME = ".seq"
+LOCK_NAME = ".lock"
+
+
+class Lease:
+    """One granted lease: who holds it, its fencing token, and when it
+    expires.  Immutable — renewal returns a fresh instance."""
+
+    __slots__ = ("owner", "token", "acquired", "ttl", "kind")
+
+    def __init__(self, owner, token, acquired, ttl, kind="writer"):
+        self.owner = owner
+        self.token = int(token)
+        self.acquired = float(acquired)
+        self.ttl = float(ttl)
+        self.kind = kind
+
+    @property
+    def expires(self) -> float:
+        return self.acquired + self.ttl
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"Lease(owner={self.owner!r}, token={self.token}, "
+            f"kind={self.kind!r}, ttl={self.ttl})"
+        )
+
+
+class LeaseManager:
+    """Grants, renews, releases, and reaps leases for one store root.
+
+    ``clock_skew`` widens the expiry horizon observers apply to *other*
+    holders' leases: a lease is treated as active until ``ttl +
+    clock_skew`` past its acquisition stamp, so a gc whose clock runs
+    ahead of a writer's cannot reclaim objects the writer still owns.
+    ``clock`` is injectable for deterministic tests (the store wires it
+    to its own overridable clock).
+    """
+
+    def __init__(self, backend, root, ttl=DEFAULT_LEASE_TTL,
+                 clock_skew=0.0, clock=time.time):
+        self.backend = backend
+        self.root = str(root)
+        self.ttl = float(ttl)
+        self.clock_skew = float(clock_skew)
+        self.clock = clock
+        self._dir = os.path.join(self.root, LEASE_DIR)
+
+    def _lease_path(self, owner: str) -> str:
+        return os.path.join(self._dir, f"{owner}.json")
+
+    def _lock(self):
+        return self.backend.lock(os.path.join(self._dir, LOCK_NAME))
+
+    def _next_token(self) -> int:
+        """Advance the store-wide fencing counter (caller holds the
+        lease lock)."""
+        seq_path = os.path.join(self._dir, SEQ_NAME)
+        try:
+            current = int(self.backend.read_bytes(seq_path).decode("ascii"))
+        except (OSError, ValueError):
+            current = 0
+        token = current + 1
+        self.backend.write_bytes(seq_path, str(token).encode("ascii"))
+        return token
+
+    def acquire(self, kind: str = "writer") -> Lease:
+        """Grant a fresh lease with the next fencing token."""
+        owner = f"{kind}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        with self._lock():
+            self.backend.makedirs(self._dir)
+            token = self._next_token()
+            lease = Lease(owner, token, self.clock(), self.ttl, kind)
+            self._write(lease)
+        return lease
+
+    def renew(self, lease: Lease) -> Lease:
+        """Push a held lease's expiry forward (token unchanged — renewal
+        extends ownership, it does not re-order it)."""
+        renewed = Lease(
+            lease.owner, lease.token, self.clock(), self.ttl, lease.kind
+        )
+        with self._lock():
+            self._write(renewed)
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Return a lease; absent files (an expired lease a peer already
+        reaped) are fine."""
+        with self._lock():
+            try:
+                self.backend.remove(self._lease_path(lease.owner))
+            except OSError:
+                pass
+
+    def _write(self, lease: Lease) -> None:
+        payload = {
+            "owner": lease.owner,
+            "token": lease.token,
+            "acquired": lease.acquired,
+            "ttl": lease.ttl,
+            "kind": lease.kind,
+        }
+        self.backend.write_bytes(
+            self._lease_path(lease.owner),
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+        )
+
+    def _expired(self, lease: Lease, now: float) -> bool:
+        # Clamp at zero: a lagging clock yields a negative age, which
+        # must read as "fresh", never as instantly expired.
+        age = max(0.0, now - lease.acquired)
+        return age >= lease.ttl + self.clock_skew
+
+    def active(self, reap: bool = True) -> list:
+        """All currently active leases (lock-free read; lease files are
+        written atomically).  ``reap`` best-effort removes expired lease
+        files so the directory stays bounded."""
+        if not self.backend.isdir(self._dir):
+            return []
+        now = self.clock()
+        out = []
+        try:
+            names = self.backend.listdir(self._dir)
+        except OSError:
+            return []
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self._dir, name)
+            try:
+                payload = json.loads(
+                    self.backend.read_bytes(path).decode("utf-8")
+                )
+                lease = Lease(
+                    payload["owner"], payload["token"], payload["acquired"],
+                    payload["ttl"], payload.get("kind", "writer"),
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if self._expired(lease, now):
+                if reap:
+                    with self._lock():
+                        try:
+                            self.backend.remove(path)
+                        except OSError:
+                            pass
+                continue
+            out.append(lease)
+        return out
+
+    def active_tokens(self, exclude=()) -> set:
+        """Fencing tokens of active leases, minus ``exclude`` (a gc
+        pass excludes its own lease when deciding what to skip)."""
+        excluded = {lease.token for lease in exclude if lease is not None}
+        return {
+            lease.token
+            for lease in self.active()
+            if lease.token not in excluded
+        }

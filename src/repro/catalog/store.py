@@ -71,6 +71,20 @@ every file lands via a unique temp file + rename (object file writes
 and removals additionally run under the shard lock, so a delete can
 never interleave between a concurrent writer's data file landing and
 its manifest record).
+
+All physical I/O goes through a pluggable :class:`StoreBackend`
+(:mod:`repro.catalog.backend`): the default local-FS backend reproduces
+the historical layout byte-for-byte, while the ``segments`` backend
+packs the same virtual paths into immutable append-only segment files
+whose sealed state can be replicated read-only to other roots.
+
+Writers own their in-flight objects through time-bounded, fencing-token
+**leases** (:mod:`repro.catalog.leases`): ``write_object`` stamps the
+writer's token on the object record, and :meth:`CatalogStore.gc` skips
+any unreferenced object whose token belongs to a live lease — then
+re-checks liveness under the shard lock via the caller's ``live_check``
+— closing the race where a gc scan reclaims an object a concurrent
+builder wrote after the scan but before its save landed.
 """
 
 from __future__ import annotations
@@ -78,16 +92,18 @@ from __future__ import annotations
 import io
 import json
 import os
+import re
 import struct
-import tempfile
+import threading
 import time
 import zlib
 
 import numpy as np
 
+from repro.catalog.backend import CatalogStoreError, backend_for
 from repro.catalog.fingerprint import shard_of
+from repro.catalog.leases import DEFAULT_LEASE_TTL, LeaseManager
 from repro.discovery.index import ColumnEntry
-from repro.utils.locks import FileLock
 
 VERSION = 2
 #: Layout versions this code can read (writes always use :data:`VERSION`).
@@ -149,6 +165,22 @@ def register_store_metrics(registry):
             "repro_store_tombstones_swept_total",
             "Orphaned data files removed by tombstone sweeps.",
         ),
+        "lease_acquires": registry.counter(
+            "repro_store_lease_acquires_total",
+            "Write-ownership leases acquired, by holder kind.",
+            labels=("kind",),
+        ),
+        "lease_renewals": registry.counter(
+            "repro_store_lease_renewals_total",
+            "Write-ownership lease renewals.",
+        ),
+        "gc_skipped": registry.counter(
+            "repro_store_gc_skipped_total",
+            "Unreferenced gc candidates preserved by the under-lock "
+            "re-check, by reason (an active writer lease, or liveness "
+            "re-established by a save that landed after the scan).",
+            labels=("reason",),
+        ),
     }
 
 
@@ -169,10 +201,6 @@ class _TimedLock:
 
     def __exit__(self, *exc_info):
         return self._lock.__exit__(*exc_info)
-
-
-class CatalogStoreError(RuntimeError):
-    """Raised on store corruption or configuration mismatch."""
 
 
 # ----------------------------------------------------------------------
@@ -476,6 +504,30 @@ class BinaryCodec(Codec):
 CODECS = {codec.version: codec for codec in (JsonCodec(), BinaryCodec())}
 DEFAULT_CODEC = CODECS[2]
 
+#: Shape of object fingerprints as the store addresses them: dash-joined
+#: runs of at least 8 lowercase hex digits (the catalog writes
+#: ``<16-hex config fp>-<32-hex table fp>``).  ``list_objects`` uses it
+#: to tell layout-v1 flat objects from stray ``*.json`` files someone
+#: dropped into the objects root.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{8,}(?:-[0-9a-f]{8,})*$")
+
+
+def _record_codec(value):
+    """Codec version from an objects-section record (either the legacy
+    plain-int form or the lease-stamped ``{"codec", "lease"}`` dict)."""
+    if isinstance(value, dict):
+        return value.get("codec")
+    return value
+
+
+def _record_lease(value):
+    """Fencing token from an objects-section record, or ``None`` for
+    records written without a lease."""
+    if isinstance(value, dict):
+        token = value.get("lease")
+        return token if isinstance(token, int) else None
+    return None
+
 
 class CatalogStore:
     """Filesystem persistence for catalog artifacts.
@@ -487,7 +539,17 @@ class CatalogStore:
     :meth:`evict_profiles`).  ``result_budget_bytes`` does the same for
     the persisted run-record section (:meth:`write_result` /
     :meth:`evict_results`).  ``tombstone_ttl`` bounds how long deletion
-    tombstones survive before compaction prunes them (seconds).
+    tombstones survive before compaction prunes them (seconds), and
+    ``clock_skew`` widens that horizon (and lease expiry) so writers
+    with drifting clocks cannot prune each other's fresh state early.
+
+    ``backend`` selects the physical representation (a name, a
+    :class:`~repro.catalog.backend.StoreBackend` instance, or ``None``
+    to auto-detect — see :func:`~repro.catalog.backend.backend_for`).
+    ``lease_ttl`` is the write-ownership lease lifetime in seconds;
+    ``None`` disables leases entirely, restoring the pre-lease gc
+    behavior (kept for the regression demonstration of the liveness
+    race, not for production use).
     """
 
     #: Per-shard delta journal (see the module docstring's protocol).
@@ -506,11 +568,35 @@ class CatalogStore:
         profile_budget_bytes: int = None,
         result_budget_bytes: int = None,
         tombstone_ttl: float = TOMBSTONE_TTL,
+        clock_skew: float = 0.0,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        backend=None,
     ):
         self.root = str(root)
+        self.backend = backend_for(self.root, backend)
         self.profile_budget_bytes = profile_budget_bytes
         self.result_budget_bytes = result_budget_bytes
         self.tombstone_ttl = float(tombstone_ttl)
+        self.clock_skew = float(clock_skew)
+        self.lease_ttl = None if lease_ttl is None else float(lease_ttl)
+        #: Write-ownership leases (``None`` when disabled): gc consults
+        #: the active set before reclaiming anything unreferenced.
+        self.leases = (
+            None
+            if self.lease_ttl is None
+            else LeaseManager(
+                self.backend,
+                self.root,
+                ttl=self.lease_ttl,
+                clock_skew=self.clock_skew,
+                clock=lambda: _now(),
+            )
+        )
+        self._writer_lease = None
+        self._writer_lease_guard = threading.Lock()
+        #: Breakdown of the most recent :meth:`gc` pass on this instance
+        #: (``removed`` / ``skipped_leased`` / ``skipped_live``).
+        self.last_gc = {"removed": 0, "skipped_leased": 0, "skipped_live": 0}
         #: Test seam: a callable invoked with a protocol point name
         #: (``"shard-log-appended"``, ``"shard-manifest-compacted"``,
         #: ``"object-files-removed"``) at the matching moment of every
@@ -552,7 +638,7 @@ class CatalogStore:
     def _dir_lock(self, directory: str):
         """Advisory file lock guarding one directory's manifest (wait
         time lands in the lock-wait histogram when metrics are on)."""
-        lock = FileLock(os.path.join(directory, self.LOCK_NAME))
+        lock = self.backend.lock(os.path.join(directory, self.LOCK_NAME))
         if self.obs is None:
             return lock
         return _TimedLock(
@@ -605,7 +691,27 @@ class CatalogStore:
         return os.path.join(self._profiles_dir(), f"{base_fingerprint}.json")
 
     def exists(self) -> bool:
-        return os.path.exists(self.manifest_path)
+        return self.backend.exists(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Backend I/O helpers (tolerant variants of the backend primitives)
+    # ------------------------------------------------------------------
+    def _size(self, path: str) -> int:
+        try:
+            return self.backend.size(path)
+        except OSError:
+            return 0
+
+    def _remove(self, path: str) -> None:
+        try:
+            self.backend.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def _write_json(self, path: str, payload) -> None:
+        self.backend.write_bytes(
+            path, json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+        )
 
     # ------------------------------------------------------------------
     # Manifest
@@ -615,15 +721,16 @@ class CatalogStore:
 
         Accepts every readable layout version (a v1 manifest opens
         transparently; the next :meth:`write_manifest` upgrades it)."""
-        if not self.exists():
+        try:
+            raw = self.backend.read_bytes(self.manifest_path)
+        except FileNotFoundError:
             return None
-        with open(self.manifest_path, encoding="utf-8") as handle:
-            try:
-                manifest = json.load(handle)
-            except json.JSONDecodeError as error:
-                raise CatalogStoreError(
-                    f"corrupt catalog manifest at {self.manifest_path!r}: {error}"
-                ) from error
+        try:
+            manifest = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CatalogStoreError(
+                f"corrupt catalog manifest at {self.manifest_path!r}: {error}"
+            ) from error
         version = manifest.get("version") if isinstance(manifest, dict) else None
         if version not in READABLE_VERSIONS:
             raise CatalogStoreError(
@@ -634,13 +741,13 @@ class CatalogStore:
 
     def write_manifest(self, config: dict, tables: dict) -> None:
         """Persist config + the name→fingerprint snapshot atomically."""
-        os.makedirs(self.root, exist_ok=True)
+        self.backend.makedirs(self.root)
         payload = {
             "version": VERSION,
             "config": dict(config),
             "tables": dict(sorted(tables.items())),
         }
-        _atomic_write_json(self.manifest_path, payload)
+        self._write_json(self.manifest_path, payload)
 
     # ------------------------------------------------------------------
     # Per-shard manifests (advisory indexes; the directory is the truth)
@@ -656,8 +763,7 @@ class CatalogStore:
         partial tail after a crash) are skipped — every complete record
         still applies, which is exactly the crash guarantee."""
         try:
-            with open(self._shard_log_path(shard_dir), "rb") as handle:
-                data = handle.read()
+            data = self.backend.read_bytes(self._shard_log_path(shard_dir))
         except OSError:
             # No delta log: the overwhelmingly common case, not a replay.
             return payload
@@ -694,13 +800,19 @@ class CatalogStore:
         to directory probing and is rebuilt by the next write, never
         trusted over the files."""
         try:
-            with open(
-                os.path.join(shard_dir, "manifest.json"), encoding="utf-8"
-            ) as handle:
-                payload = json.load(handle)
+            payload = json.loads(
+                self.backend.read_bytes(
+                    os.path.join(shard_dir, "manifest.json")
+                ).decode("utf-8")
+            )
             if not isinstance(payload, dict):
                 payload = {}
-        except (FileNotFoundError, NotADirectoryError, json.JSONDecodeError):
+        except (
+            FileNotFoundError,
+            NotADirectoryError,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+        ):
             payload = {}
         return self._replay_shard_log(shard_dir, payload)
 
@@ -743,46 +855,51 @@ class CatalogStore:
                 record["value"] = value
             lines += (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         try:
-            os.makedirs(shard_dir, exist_ok=True)
+            self.backend.makedirs(shard_dir)
             with self._dir_lock(shard_dir):
-                fd = os.open(
-                    self._shard_log_path(shard_dir),
-                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
-                    0o644,
+                self.backend.append_bytes(
+                    self._shard_log_path(shard_dir), bytes(lines)
                 )
-                try:
-                    os.write(fd, bytes(lines))
-                finally:
-                    os.close(fd)
                 self._fault("shard-log-appended")
                 if between is not None:
                     between()
                 payload = self._read_shard_manifest(shard_dir)
                 self._prune_tombstones(payload)
-                _atomic_write_json(
+                self._write_json(
                     os.path.join(shard_dir, "manifest.json"), payload
                 )
                 self._fault("shard-manifest-compacted")
-                _remove_if_exists(self._shard_log_path(shard_dir))
+                self._remove(self._shard_log_path(shard_dir))
         except OSError:
             pass
 
     def _prune_tombstones(self, payload: dict) -> None:
         """Drop expired (or malformed) tombstones from a manifest payload
         about to be compacted — pruning happens only on the write path,
-        so readers never mutate what they replay."""
+        so readers never mutate what they replay.
+
+        Expiry is judged by *clamped age*: a tombstone stamped by a
+        writer whose clock runs ahead of ours has a negative age, which
+        must read as "fresh" — never as instantly prunable — and the
+        per-store ``clock_skew`` widens the horizon so a pruner with a
+        fast clock cannot drop another writer's tombstone early."""
         tombstones = payload.get("tombstones")
         if not isinstance(tombstones, dict):
             if tombstones is not None:
                 payload.pop("tombstones", None)
             return
-        horizon = _now() - self.tombstone_ttl
+        now = _now()
+        horizon = self.tombstone_ttl + self.clock_skew
+
+        def _expired(ts: float) -> bool:
+            return max(0.0, now - float(ts)) > horizon
+
         for key in [
             key
             for key, info in tombstones.items()
             if not isinstance(info, dict)
             or not isinstance(info.get("ts"), (int, float))
-            or float(info["ts"]) < horizon
+            or _expired(info["ts"])
         ]:
             del tombstones[key]
         if not tombstones:
@@ -802,7 +919,7 @@ class CatalogStore:
             if isinstance(info, dict):
                 info = dict(info)
             else:
-                info = {"bytes": _file_size(path)}
+                info = {"bytes": self._size(path)}
             info["touched"] = _now()
             self._update_shard_manifest(shard_dir, section, "set", key, info)
         except Exception:
@@ -819,14 +936,14 @@ class CatalogStore:
         loss)."""
         inventory = []
         seen = set()
-        if not os.path.isdir(root_dir):
+        if not self.backend.isdir(root_dir):
             return inventory, seen
-        for name in sorted(os.listdir(root_dir)):
+        for name in sorted(self.backend.listdir(root_dir)):
             shard_dir = os.path.join(root_dir, name)
-            if not os.path.isdir(shard_dir):
+            if not self.backend.isdir(shard_dir):
                 continue
             recorded = self._read_shard_section(shard_dir, section)
-            for entry in sorted(os.listdir(shard_dir)):
+            for entry in sorted(self.backend.listdir(shard_dir)):
                 if not entry.endswith(suffix) or entry == "manifest.json":
                     continue
                 key = entry[: -len(suffix)]
@@ -841,11 +958,17 @@ class CatalogStore:
                         size = info["bytes"]
                 else:
                     try:
-                        touched = os.path.getmtime(path)
+                        touched = self.backend.mtime(path)
                     except OSError:
+                        # Deleted between the listing and the stat (a
+                        # concurrent eviction or gc): the entry is gone,
+                        # not merely unbookkept — skip it rather than
+                        # inventory a ghost (or crash the caller).
+                        if not self.backend.exists(path):
+                            continue
                         touched = 0.0
                 if size is None:
-                    size = _file_size(path)
+                    size = self._size(path)
                 seen.add(key)
                 inventory.append((touched, key, size))
         return inventory, seen
@@ -888,7 +1011,7 @@ class CatalogStore:
             self._object_shard_dir(fingerprint), "objects"
         )
         order = []
-        version = recorded.get(fingerprint)
+        version = _record_codec(recorded.get(fingerprint))
         if version in CODECS:
             order.append(CODECS[version])
         order.extend(
@@ -904,8 +1027,78 @@ class CatalogStore:
 
     def has_object(self, fingerprint: str) -> bool:
         return any(
-            os.path.exists(path) for _codec, path in self._object_candidates(fingerprint)
+            self.backend.exists(path)
+            for _codec, path in self._object_candidates(fingerprint)
         )
+
+    # ------------------------------------------------------------------
+    # Write-ownership leases
+    # ------------------------------------------------------------------
+    def writer_lease(self):
+        """This store's current writer lease (acquired on first use,
+        renewed once half its TTL has passed), or ``None`` when leases
+        are disabled.  Object records stamp its fencing token so gc can
+        tell in-flight work from garbage."""
+        if self.leases is None:
+            return None
+        with self._writer_lease_guard:
+            lease = self._writer_lease
+            if lease is None:
+                lease = self.leases.acquire(kind="writer")
+                if self.obs is not None:
+                    self.obs["lease_acquires"].labels(kind="writer").inc()
+            elif _now() - lease.acquired > self.leases.ttl / 2:
+                lease = self.leases.renew(lease)
+                if self.obs is not None:
+                    self.obs["lease_renewals"].inc()
+            self._writer_lease = lease
+            return lease
+
+    def release_writer_lease(self) -> None:
+        """Give up write ownership — called once the writer's references
+        are durably published (:meth:`Catalog.save`), after which its
+        objects are protected by the manifest, not the lease."""
+        with self._writer_lease_guard:
+            lease, self._writer_lease = self._writer_lease, None
+        if lease is not None and self.leases is not None:
+            self.leases.release(lease)
+
+    def claim_object(self, fingerprint: str) -> None:
+        """Stamp this writer's lease token on an *existing* object it is
+        adopting (a warm-start hit on content some earlier writer
+        persisted): until this writer's save lands, the object must be
+        owned, or a racing gc that does not see it referenced yet could
+        reclaim it.  No-op when leases are disabled or the object is
+        unknown."""
+        if self.leases is None:
+            return
+        lease = self.writer_lease()
+        shard_dir = self._object_shard_dir(fingerprint)
+        with self._dir_lock(shard_dir):
+            if not self.has_object(fingerprint):
+                return
+            recorded = self._read_shard_section(shard_dir, "objects").get(
+                fingerprint
+            )
+            version = _record_codec(recorded)
+            if version not in CODECS:
+                # Unrecorded (legacy flat object) or damaged record:
+                # probe for the representation actually present.
+                version = next(
+                    (
+                        codec.version
+                        for codec, path in self._object_candidates(fingerprint)
+                        if self.backend.exists(path)
+                    ),
+                    DEFAULT_CODEC.version,
+                )
+            self._update_shard_manifest(
+                shard_dir,
+                "objects",
+                "set",
+                fingerprint,
+                {"codec": version, "lease": lease.token},
+            )
 
     def write_object(
         self, fingerprint: str, meta: dict, entries: dict, overwrite: bool = False
@@ -927,13 +1120,25 @@ class CatalogStore:
             and self.has_object(fingerprint)
             and fingerprint not in self._shard_tombstones(fingerprint)
         ):
+            # Present already — but this writer is about to depend on
+            # it, so take ownership exactly as if it had written it.
+            self.claim_object(fingerprint)
             return
+        # With leases enabled the record carries the writer's fencing
+        # token; without, it stays the historical plain codec version
+        # (keeping lease-free stores byte-identical).
+        lease = self.writer_lease()
+        record = (
+            DEFAULT_CODEC.version
+            if lease is None
+            else {"codec": DEFAULT_CODEC.version, "lease": lease.token}
+        )
         path = self._object_path(fingerprint)
         shard_dir = os.path.dirname(path)
-        os.makedirs(shard_dir, exist_ok=True)
+        self.backend.makedirs(shard_dir)
         blob = DEFAULT_CODEC.encode(meta, entries)
         with self._dir_lock(shard_dir):
-            _atomic_write_bytes(path, blob)
+            self.backend.write_bytes(path, blob)
             self._count("writes", "objects")
             self._count("write_bytes", "objects", len(blob))
             # Tombstone clear *before* the object record: both land in
@@ -946,15 +1151,15 @@ class CatalogStore:
                 shard_dir,
                 [
                     ("tombstones", "del", fingerprint, None),
-                    ("objects", "set", fingerprint, DEFAULT_CODEC.version),
+                    ("objects", "set", fingerprint, record),
                 ],
             )
             # Drop superseded representations (other codecs, the v1 flat
             # file) so a heal can never resurrect stale content later.
             for codec in CODECS.values():
                 if codec is not DEFAULT_CODEC:
-                    _remove_if_exists(self._object_path(fingerprint, codec))
-            _remove_if_exists(self._legacy_object_path(fingerprint))
+                    self._remove(self._object_path(fingerprint, codec))
+            self._remove(self._legacy_object_path(fingerprint))
 
     def read_object(self, fingerprint: str):
         """Load ``(meta, {column: ColumnEntry})`` for one fingerprint.
@@ -965,8 +1170,7 @@ class CatalogStore:
         is corrupt."""
         for codec, path in self._object_candidates(fingerprint):
             try:
-                with open(path, "rb") as handle:
-                    blob = handle.read()
+                blob = self.backend.read_bytes(path)
             except FileNotFoundError:
                 continue
             try:
@@ -986,8 +1190,7 @@ class CatalogStore:
         catalogs never materialize the value sets."""
         for codec, path in self._object_candidates(fingerprint):
             try:
-                with open(path, "rb") as handle:
-                    blob = handle.read()
+                blob = self.backend.read_bytes(path)
             except FileNotFoundError:
                 continue
             try:
@@ -1007,12 +1210,12 @@ class CatalogStore:
     def list_tombstones(self) -> dict:
         """``{fingerprint: deletion timestamp}`` across all object shards."""
         objects_dir = self._objects_dir()
-        if not os.path.isdir(objects_dir):
+        if not self.backend.isdir(objects_dir):
             return {}
         out = {}
-        for name in sorted(os.listdir(objects_dir)):
+        for name in sorted(self.backend.listdir(objects_dir)):
             shard_dir = os.path.join(objects_dir, name)
-            if not os.path.isdir(shard_dir):
+            if not self.backend.isdir(shard_dir):
                 continue
             for key, info in self._read_shard_section(
                 shard_dir, "tombstones"
@@ -1025,8 +1228,8 @@ class CatalogStore:
 
     def _remove_object_files(self, fingerprint: str) -> None:
         for codec in CODECS.values():
-            _remove_if_exists(self._object_path(fingerprint, codec))
-        _remove_if_exists(self._legacy_object_path(fingerprint))
+            self._remove(self._object_path(fingerprint, codec))
+        self._remove(self._legacy_object_path(fingerprint))
 
     def delete_object(self, fingerprint: str) -> None:
         """Durably delete one object (tombstone-first protocol).
@@ -1085,12 +1288,12 @@ class CatalogStore:
         pruned by every compaction; sweeping only reconciles files.
         """
         objects_dir = self._objects_dir()
-        if not os.path.isdir(objects_dir):
+        if not self.backend.isdir(objects_dir):
             return 0
         removed = 0
-        for name in sorted(os.listdir(objects_dir)):
+        for name in sorted(self.backend.listdir(objects_dir)):
             shard_dir = os.path.join(objects_dir, name)
-            if not os.path.isdir(shard_dir):
+            if not self.backend.isdir(shard_dir):
                 continue
             if not self._read_shard_section(shard_dir, "tombstones"):
                 continue
@@ -1108,8 +1311,8 @@ class CatalogStore:
                         if fingerprint in recorded:
                             continue
                         for _codec, path in self._object_candidates(fingerprint):
-                            if os.path.exists(path):
-                                _remove_if_exists(path)
+                            if self.backend.exists(path):
+                                self._remove(path)
                                 removed += 1
             except OSError:
                 continue
@@ -1123,37 +1326,115 @@ class CatalogStore:
         return {codec.extension for codec in CODECS.values()}
 
     def list_objects(self) -> list:
-        """Fingerprints of all stored table objects, across layouts."""
+        """Fingerprints of all stored table objects, across layouts.
+
+        Layout-v1 flat files are only counted when their stem is
+        fingerprint-shaped: the objects root can pick up stray ``*.json``
+        files (editor droppings, notes, tooling output), and reporting
+        those as fingerprints would make ``gc`` "delete" them and
+        ``verify`` flag phantom objects."""
         objects_dir = self._objects_dir()
-        if not os.path.isdir(objects_dir):
+        if not self.backend.isdir(objects_dir):
             return []
         extensions = self._extensions()
         found = set()
-        for name in os.listdir(objects_dir):
+        for name in self.backend.listdir(objects_dir):
             path = os.path.join(objects_dir, name)
-            if os.path.isdir(path):
-                for entry in os.listdir(path):
+            if self.backend.isdir(path):
+                for entry in self.backend.listdir(path):
                     if entry == "manifest.json":
                         continue
                     stem, ext = os.path.splitext(entry)
                     if ext in extensions:
                         found.add(stem)
             elif name.endswith(".json"):
-                found.add(name[: -len(".json")])
+                stem = name[: -len(".json")]
+                if _FINGERPRINT_RE.match(stem):
+                    found.add(stem)
         return sorted(found)
 
-    def gc(self, live_fingerprints) -> int:
+    def gc(self, live_fingerprints, live_check=None) -> int:
         """Delete objects not in ``live_fingerprints``; returns the count.
 
+        The live set is a *scan-time* snapshot, so before reclaiming
+        each candidate gc re-checks, under that object's shard lock:
+
+        1. **Lease ownership** — an object whose record carries the
+           fencing token of a currently active lease is a concurrent
+           writer's in-flight work (written after the scan, references
+           not yet saved) and is skipped.  Crashed writers stop
+           renewing, their leases expire, and their orphans become
+           collectible on a later pass — leases defer reclamation, they
+           never leak it.
+        2. **Fresh liveness** — ``live_check``, when given, is called to
+           produce an up-to-date live set (the catalog re-reads the root
+           manifest); an object a just-landed save references is live,
+           not garbage.
+
+        Both checks happen under the same shard lock that
+        :meth:`write_object` and :meth:`delete_object` take, so the
+        decision is linearized against every writer in the shard.  With
+        leases disabled (``lease_ttl=None``) and no ``live_check``,
+        this degrades to the historical scan-then-delete pass — which
+        is exactly the racy behavior the fault-injection regression
+        test pins as lossy.
+
         Also sweeps tombstones, finishing any deletion a crashed writer
-        left half-done."""
+        left half-done.  Per-pass counts land in :attr:`last_gc` (and
+        the ``gc_skipped`` metric family when metrics are attached).
+        """
         live = set(live_fingerprints)
         removed = 0
-        for fingerprint in self.list_objects():
-            if fingerprint not in live:
-                self.delete_object(fingerprint)
-                removed += 1
+        skipped_leased = 0
+        skipped_live = 0
+        gc_lease = (
+            self.leases.acquire(kind="gc") if self.leases is not None else None
+        )
+        if gc_lease is not None and self.obs is not None:
+            self.obs["lease_acquires"].labels(kind="gc").inc()
+        # Leases protect *other* writers' in-flight work.  This store's
+        # own writer lease never shields a candidate: the caller just
+        # declared its own live set, so anything it owns outside that
+        # set is garbage by its own account.
+        own_leases = (gc_lease, self._writer_lease)
+        try:
+            for fingerprint in self.list_objects():
+                if fingerprint in live:
+                    continue
+                shard_dir = self._object_shard_dir(fingerprint)
+                with self._dir_lock(shard_dir):
+                    if self.leases is not None:
+                        record = self._read_shard_section(
+                            shard_dir, "objects"
+                        ).get(fingerprint)
+                        token = _record_lease(record)
+                        if token is not None and token in self.leases.active_tokens(
+                            exclude=own_leases
+                        ):
+                            skipped_leased += 1
+                            if self.obs is not None:
+                                self.obs["gc_skipped"].labels(
+                                    reason="leased"
+                                ).inc()
+                            continue
+                    if live_check is not None and fingerprint in set(
+                        live_check()
+                    ):
+                        skipped_live += 1
+                        if self.obs is not None:
+                            self.obs["gc_skipped"].labels(reason="live").inc()
+                        continue
+                    self.delete_object(fingerprint)
+                    removed += 1
+        finally:
+            if gc_lease is not None:
+                self.leases.release(gc_lease)
         self.sweep_tombstones()
+        self.last_gc = {
+            "removed": removed,
+            "skipped_leased": skipped_leased,
+            "skipped_live": skipped_live,
+        }
         return removed
 
     # ------------------------------------------------------------------
@@ -1177,7 +1458,7 @@ class CatalogStore:
         the two writes) is then detected instead of silently served.
         """
         rows = list(rows)
-        os.makedirs(self.root, exist_ok=True)
+        self.backend.makedirs(self.root)
         # Fixed-width unicode arrays (never dtype=object): the file can
         # then be read back without allow_pickle, so opening a foreign
         # catalog directory cannot execute a pickle payload.
@@ -1190,38 +1471,31 @@ class CatalogStore:
             signatures = np.stack([signature for _t, _f, _c, signature in rows])
         else:
             signatures = np.empty((0, 0), dtype=np.uint64)
-        # Streamed straight into the temp file (not via an in-memory
-        # buffer): the snapshot is the largest single artifact, and
-        # buffering it would double peak memory on every save.
-        fd, tmp = tempfile.mkstemp(
-            prefix="snapshot.", suffix=".tmp", dir=self.root
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    tables=tables,
-                    fingerprints=fingerprints,
-                    columns=columns,
-                    signatures=signatures,
-                )
-            os.replace(tmp, self.snapshot_path)
-        except BaseException:
-            try:
-                os.remove(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+        # Streamed through the backend (the local FS writes straight
+        # into the temp file, not via an in-memory buffer): the snapshot
+        # is the largest single artifact, and buffering it would double
+        # peak memory on every save.
+        with self.backend.write_stream(self.snapshot_path) as handle:
+            np.savez(
+                handle,
+                tables=tables,
+                fingerprints=fingerprints,
+                columns=columns,
+                signatures=signatures,
+            )
 
     def read_snapshot(self):
         """Load ``{table: (fingerprint, {column: signature})}``, or
         ``None`` if absent."""
         try:
-            with np.load(self.snapshot_path) as payload:
-                tables = payload["tables"]
-                fingerprints = payload["fingerprints"]
-                columns = payload["columns"]
-                signatures = payload["signatures"].astype(np.uint64, copy=False)
+            with self.backend.open_read(self.snapshot_path) as handle:
+                with np.load(handle) as payload:
+                    tables = payload["tables"]
+                    fingerprints = payload["fingerprints"]
+                    columns = payload["columns"]
+                    signatures = payload["signatures"].astype(
+                        np.uint64, copy=False
+                    )
         except FileNotFoundError:
             return None
         except Exception:
@@ -1253,11 +1527,12 @@ class CatalogStore:
         so corruption degrades to recomputation (and is overwritten by
         the next flush), never fails a discovery run."""
         try:
-            with np.load(path) as payload:
-                return {
-                    key: payload[key].astype(float, copy=False)
-                    for key in payload.files
-                }
+            with self.backend.open_read(path) as handle:
+                with np.load(handle) as payload:
+                    return {
+                        key: payload[key].astype(float, copy=False)
+                        for key in payload.files
+                    }
         except FileNotFoundError:
             return None
         except Exception:
@@ -1277,14 +1552,15 @@ class CatalogStore:
             # touch must never discard a successfully loaded cache.
             self._touch_profile_group(base_fingerprint)
             self._count("reads", "profiles")
-            self._count("read_bytes", "profiles", _file_size(path))
+            self._count("read_bytes", "profiles", self._size(path))
             return entries
         # Layout-v1 flat JSON group (read-through; migrated on next write).
         try:
-            with open(
-                self._legacy_profile_path(base_fingerprint), encoding="utf-8"
-            ) as handle:
-                payload = json.load(handle)
+            payload = json.loads(
+                self.backend.read_bytes(
+                    self._legacy_profile_path(base_fingerprint)
+                ).decode("utf-8")
+            )
             return {
                 key: np.array(vector, dtype=float)
                 for key, vector in payload["entries"].items()
@@ -1310,7 +1586,7 @@ class CatalogStore:
         curation script) rather than a flush."""
         path = self._profile_path(base_fingerprint)
         shard_dir = os.path.dirname(path)
-        os.makedirs(shard_dir, exist_ok=True)
+        self.backend.makedirs(shard_dir)
         arrays = {
             key: np.asarray(vector, dtype=float)
             for key, vector in entries.items()
@@ -1325,7 +1601,7 @@ class CatalogStore:
                 buffer, **{key: arrays[key] for key in sorted(arrays)}
             )
             blob = buffer.getvalue()
-            _atomic_write_bytes(path, blob)
+            self.backend.write_bytes(path, blob)
             self._count("writes", "profiles")
             self._count("write_bytes", "profiles", len(blob))
             self._update_shard_manifest(
@@ -1335,7 +1611,7 @@ class CatalogStore:
                 base_fingerprint,
                 {"bytes": len(blob), "touched": _now()},
             )
-        _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+        self._remove(self._legacy_profile_path(base_fingerprint))
         if self.profile_budget_bytes is not None:
             self.evict_profiles(
                 self.profile_budget_bytes, keep=frozenset({base_fingerprint})
@@ -1351,8 +1627,8 @@ class CatalogStore:
 
     def delete_profiles(self, base_fingerprint: str) -> None:
         """Drop one base table's cached profile group (both layouts)."""
-        _remove_if_exists(self._profile_path(base_fingerprint))
-        _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+        self._remove(self._profile_path(base_fingerprint))
+        self._remove(self._legacy_profile_path(base_fingerprint))
         shard_dir = self._profile_shard_dir(base_fingerprint)
         if self._read_shard_section(shard_dir, "groups").get(base_fingerprint):
             self._update_shard_manifest(
@@ -1361,13 +1637,13 @@ class CatalogStore:
 
     def list_profile_groups(self) -> list:
         profiles_dir = self._profiles_dir()
-        if not os.path.isdir(profiles_dir):
+        if not self.backend.isdir(profiles_dir):
             return []
         found = set()
-        for name in os.listdir(profiles_dir):
+        for name in self.backend.listdir(profiles_dir):
             path = os.path.join(profiles_dir, name)
-            if os.path.isdir(path):
-                for entry in os.listdir(path):
+            if self.backend.isdir(path):
+                for entry in self.backend.listdir(path):
                     if entry.endswith(".npz"):
                         found.add(entry[: -len(".npz")])
             elif name.endswith(".json"):
@@ -1381,22 +1657,27 @@ class CatalogStore:
         sharded copy supersedes them)."""
         profiles_dir = self._profiles_dir()
         inventory, seen = self._sharded_inventory(profiles_dir, "groups", ".npz")
-        if not os.path.isdir(profiles_dir):
+        if not self.backend.isdir(profiles_dir):
             return inventory
-        for name in sorted(os.listdir(profiles_dir)):
+        for name in sorted(self.backend.listdir(profiles_dir)):
             if not name.endswith(".json"):
                 continue
-            if os.path.isdir(os.path.join(profiles_dir, name)):
+            if self.backend.isdir(os.path.join(profiles_dir, name)):
                 continue
             base_fingerprint = name[: -len(".json")]
             if base_fingerprint in seen:
                 continue
             path = self._legacy_profile_path(base_fingerprint)
             try:
-                touched = os.path.getmtime(path)
+                touched = self.backend.mtime(path)
             except OSError:
+                # Deleted between the listing and the stat (a concurrent
+                # eviction): skip the ghost instead of crashing or
+                # inventorying a zero-byte phantom.
+                if not self.backend.exists(path):
+                    continue
                 touched = 0.0
-            inventory.append((touched, base_fingerprint, _file_size(path)))
+            inventory.append((touched, base_fingerprint, self._size(path)))
         return inventory
 
     def profile_bytes(self) -> int:
@@ -1432,10 +1713,10 @@ class CatalogStore:
         records after every write, never the one just written."""
         path = self._result_path(key)
         shard_dir = os.path.dirname(path)
-        os.makedirs(shard_dir, exist_ok=True)
+        self.backend.makedirs(shard_dir)
         blob = json.dumps(payload, sort_keys=True).encode("utf-8")
         with self._dir_lock(shard_dir):
-            _atomic_write_bytes(path, blob)
+            self.backend.write_bytes(path, blob)
             self._count("writes", "results")
             self._count("write_bytes", "results", len(blob))
             self._update_shard_manifest(
@@ -1456,8 +1737,7 @@ class CatalogStore:
         Reading touches the record's LRU clock, so replayed requests
         survive budget enforcement."""
         try:
-            with open(self._result_path(key), "rb") as handle:
-                raw = handle.read()
+            raw = self.backend.read_bytes(self._result_path(key))
             payload = json.loads(raw.decode("utf-8"))
         except FileNotFoundError:
             return None
@@ -1479,24 +1759,24 @@ class CatalogStore:
         """On-disk byte size of one stored record (0 when absent) — lets
         a caller that just read the record budget it without
         re-serializing the payload."""
-        return _file_size(self._result_path(key))
+        return self._size(self._result_path(key))
 
     def delete_result(self, key: str) -> None:
-        _remove_if_exists(self._result_path(key))
+        self._remove(self._result_path(key))
         shard_dir = self._result_shard_dir(key)
         if self._read_shard_section(shard_dir, "results").get(key):
             self._update_shard_manifest(shard_dir, "results", "del", key)
 
     def list_results(self) -> list:
         results_dir = self._results_dir()
-        if not os.path.isdir(results_dir):
+        if not self.backend.isdir(results_dir):
             return []
         found = set()
-        for name in os.listdir(results_dir):
+        for name in self.backend.listdir(results_dir):
             shard_dir = os.path.join(results_dir, name)
-            if not os.path.isdir(shard_dir):
+            if not self.backend.isdir(shard_dir):
                 continue
-            for entry in os.listdir(shard_dir):
+            for entry in self.backend.listdir(shard_dir):
                 if entry.endswith(".json") and entry != "manifest.json":
                     found.add(entry[: -len(".json")])
         return sorted(found)
@@ -1525,15 +1805,18 @@ class CatalogStore:
         CLI's corpus-generation parameters), or ``None`` if absent or
         unreadable."""
         try:
-            with open(os.path.join(self.root, name), encoding="utf-8") as handle:
-                return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+            return json.loads(
+                self.backend.read_bytes(
+                    os.path.join(self.root, name)
+                ).decode("utf-8")
+            )
+        except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
             return None
 
     def write_aux(self, name: str, payload) -> None:
         """Atomically persist auxiliary JSON metadata in the store root."""
-        os.makedirs(self.root, exist_ok=True)
-        _atomic_write_json(os.path.join(self.root, name), payload)
+        self.backend.makedirs(self.root)
+        self._write_json(os.path.join(self.root, name), payload)
 
     # ------------------------------------------------------------------
     # Migration
@@ -1553,22 +1836,22 @@ class CatalogStore:
         """
         migrated_objects = 0
         for fingerprint in self.list_objects():
-            if os.path.exists(self._object_path(fingerprint)):
+            if self.backend.exists(self._object_path(fingerprint)):
                 # Already migrated — but a crash between an earlier
                 # rewrite and its cleanup can leave a superseded legacy
                 # copy behind; finish that removal here.
                 for codec in CODECS.values():
                     if codec is not DEFAULT_CODEC:
-                        _remove_if_exists(self._object_path(fingerprint, codec))
-                _remove_if_exists(self._legacy_object_path(fingerprint))
+                        self._remove(self._object_path(fingerprint, codec))
+                self._remove(self._legacy_object_path(fingerprint))
                 continue
             meta, entries = self.read_object(fingerprint)
             self.write_object(fingerprint, meta, entries, overwrite=True)
             migrated_objects += 1
         migrated_profiles = 0
         for base_fingerprint in self.list_profile_groups():
-            if os.path.exists(self._profile_path(base_fingerprint)):
-                _remove_if_exists(self._legacy_profile_path(base_fingerprint))
+            if self.backend.exists(self._profile_path(base_fingerprint)):
+                self._remove(self._legacy_profile_path(base_fingerprint))
                 continue
             entries = self.read_profiles(base_fingerprint)
             self.write_profiles(base_fingerprint, entries)
@@ -1602,14 +1885,15 @@ class CatalogStore:
             except (KeyError, CatalogStoreError) as error:
                 problems.append(f"object {fingerprint!r}: {error}")
         objects_dir = self._objects_dir()
-        if os.path.isdir(objects_dir):
-            for name in sorted(os.listdir(objects_dir)):
+        if self.backend.isdir(objects_dir):
+            for name in sorted(self.backend.listdir(objects_dir)):
                 shard_dir = os.path.join(objects_dir, name)
-                if not os.path.isdir(shard_dir):
+                if not self.backend.isdir(shard_dir):
                     continue
                 recorded = self._read_shard_section(shard_dir, "objects")
                 tombstones = self._read_shard_section(shard_dir, "tombstones")
-                for fingerprint, version in sorted(recorded.items()):
+                for fingerprint, value in sorted(recorded.items()):
+                    version = _record_codec(value)
                     if fingerprint in tombstones:
                         # The write/delete protocols update both sections
                         # in one atomic log append, so a fingerprint both
@@ -1637,8 +1921,11 @@ class CatalogStore:
         results = self.list_results()
         for key in results:
             try:
-                with open(self._result_path(key), "rb") as handle:
-                    payload = json.loads(handle.read().decode("utf-8"))
+                payload = json.loads(
+                    self.backend.read_bytes(self._result_path(key)).decode(
+                        "utf-8"
+                    )
+                )
                 if not isinstance(payload, dict):
                     raise ValueError("not a dict")
             except FileNotFoundError:
@@ -1662,26 +1949,31 @@ class CatalogStore:
             # Count keys straight off the archive/JSON member list — stats
             # must not materialize every cached vector as a numpy array.
             try:
-                with np.load(self._profile_path(group)) as payload:
-                    n_profiles += len(payload.files)
+                with self.backend.open_read(self._profile_path(group)) as handle:
+                    with np.load(handle) as payload:
+                        n_profiles += len(payload.files)
                 continue
             except FileNotFoundError:
                 pass
             except Exception:
                 continue
             try:
-                with open(
-                    self._legacy_profile_path(group), encoding="utf-8"
-                ) as handle:
-                    n_profiles += len(json.load(handle).get("entries", {}))
-            except (FileNotFoundError, json.JSONDecodeError, AttributeError):
+                payload = json.loads(
+                    self.backend.read_bytes(
+                        self._legacy_profile_path(group)
+                    ).decode("utf-8")
+                )
+                n_profiles += len(payload.get("entries", {}))
+            except (
+                FileNotFoundError,
+                json.JSONDecodeError,
+                UnicodeDecodeError,
+                AttributeError,
+            ):
                 pass
-        size = 0
-        for dirpath, _dirnames, filenames in os.walk(self.root):
-            for name in filenames:
-                size += os.path.getsize(os.path.join(dirpath, name))
         return {
             "version": manifest.get("version", VERSION),
+            "backend": self.backend.name,
             "tables": len(manifest["tables"]),
             "objects": len(self.list_objects()),
             "profile_groups": len(self.list_profile_groups()),
@@ -1690,47 +1982,13 @@ class CatalogStore:
             "run_records": len(self.list_results()),
             "result_bytes": self.result_bytes(),
             "tombstones": len(self.list_tombstones()),
-            "disk_bytes": size,
+            "leases": (
+                len(self.leases.active(reap=False))
+                if self.leases is not None
+                else 0
+            ),
+            "disk_bytes": self.backend.disk_bytes(),
             "config": manifest["config"],
         }
 
 
-def _file_size(path: str) -> int:
-    try:
-        return os.path.getsize(path)
-    except OSError:
-        return 0
-
-
-def _remove_if_exists(path: str) -> None:
-    try:
-        os.remove(path)
-    except FileNotFoundError:
-        pass
-
-
-def _atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write bytes via a unique temp file + rename so readers never see
-    partial content and concurrent writers cannot interleave into one
-    temp file — last completed writer wins (best-effort on non-POSIX
-    filesystems)."""
-    fd, tmp = tempfile.mkstemp(
-        prefix=f"{os.path.basename(path)}.", suffix=".tmp",
-        dir=os.path.dirname(path) or ".",
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.remove(tmp)
-        except FileNotFoundError:
-            pass
-        raise
-
-
-def _atomic_write_json(path: str, payload) -> None:
-    _atomic_write_bytes(
-        path, json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
-    )

@@ -1,0 +1,160 @@
+"""The gc liveness race, pinned end to end.
+
+The race: gc computes its live set (from the saved manifest), a
+concurrent builder then writes a new object, and gc reclaims it before
+the builder's ``save()`` publishes the reference.  The fix is twofold —
+writers stamp fencing-token leases on in-flight objects (gc skips any
+candidate under another holder's active lease), and gc re-checks
+liveness under the shard lock right before deleting (so a save that
+landed after the scan re-animates its objects).
+
+Every test here drives the exact interleaving deterministically: the
+"builder" is a second store/catalog instance (its writer lease is not
+the gc'ing store's own), and the stale live set is captured explicitly
+before the racing write.  The pre-lease behavior (``lease_ttl=None``)
+is pinned as reproducing the loss, so the protection is demonstrated
+against a measured failure, not assumed.
+"""
+
+import os
+import time
+
+from repro.catalog import Catalog, CatalogStore
+from repro.catalog import store as store_module
+from repro.catalog.leases import DEFAULT_LEASE_TTL
+from repro.dataframe.table import Table
+from tests.harness.entries import make_entry
+from tests.harness.faults import KILLED_EXIT_CODE, fork_context
+
+
+def write(store, fingerprint):
+    store.write_object(
+        fingerprint, {"name": fingerprint}, {"c": make_entry({fingerprint})}
+    )
+
+
+class TestLeasePreservesInFlightWrites:
+    def test_object_written_after_scan_survives_gc(self, tmp_path):
+        """The canonical schedule: gc scans, builder writes, gc sweeps —
+        the unreferenced-but-leased object must survive."""
+        root = str(tmp_path / "cat")
+        gc_store = CatalogStore(root)
+        write(gc_store, "aaaa0001")
+        stale_live = set(gc_store.list_objects())  # gc's live-set scan
+
+        builder = CatalogStore(root)  # a second process, as far as
+        write(builder, "bbbb0002")    # leases are concerned
+
+        removed = gc_store.gc(stale_live)
+        assert removed == 0
+        assert gc_store.last_gc["skipped_leased"] == 1
+        assert builder.has_object("bbbb0002")
+        assert gc_store.verify()["problems"] == []
+        # The builder "saves" (releases ownership); only now is the
+        # object fair game for a gc that does not list it live.
+        builder.release_writer_lease()
+        assert gc_store.gc(stale_live) == 1
+        assert not gc_store.has_object("bbbb0002")
+
+    def test_pre_lease_path_reproduces_the_loss(self, tmp_path):
+        """The regression this PR fixes, pinned: the identical schedule
+        with leases disabled loses the builder's object."""
+        root = str(tmp_path / "cat")
+        gc_store = CatalogStore(root, lease_ttl=None)
+        write(gc_store, "aaaa0001")
+        stale_live = set(gc_store.list_objects())
+
+        builder = CatalogStore(root, lease_ttl=None)
+        write(builder, "bbbb0002")
+
+        removed = gc_store.gc(stale_live)
+        assert removed == 1  # the in-flight object is gone
+        assert not builder.has_object("bbbb0002")
+
+    def test_own_writer_lease_does_not_shield_own_garbage(self, tmp_path):
+        """A store gc'ing with its own lease outstanding still reclaims
+        its *own* unreferenced objects — the caller's live set is
+        authoritative for its own work; leases protect other writers."""
+        store = CatalogStore(str(tmp_path / "cat"))
+        write(store, "aaaa0001")
+        write(store, "bbbb0002")
+        assert store.gc(["aaaa0001"]) == 1
+        assert not store.has_object("bbbb0002")
+
+
+class TestLiveCheckUnderLock:
+    def test_save_landing_after_scan_reanimates(self, tmp_path):
+        """Even without the lease (the builder released it the instant
+        its save landed), the under-lock liveness re-check sees the new
+        manifest reference and spares the object."""
+        root = str(tmp_path / "cat")
+        gc_store = CatalogStore(root)
+        write(gc_store, "aaaa0001")
+        stale_live = set(gc_store.list_objects())
+
+        builder = CatalogStore(root)
+        write(builder, "bbbb0002")
+        builder.release_writer_lease()  # save() landed, lease returned
+
+        manifest_live = {"aaaa0001", "bbbb0002"}  # what the manifest
+        removed = gc_store.gc(stale_live, live_check=lambda: manifest_live)
+        assert removed == 0
+        assert gc_store.last_gc["skipped_live"] == 1
+        assert gc_store.has_object("bbbb0002")
+
+    def test_catalog_gc_rechecks_manifest(self, tmp_path):
+        """Catalog.gc wires the re-check to a fresh manifest read: a
+        peer's save between the scan and the sweep is honored."""
+        root = str(tmp_path / "cat")
+        corpus = [Table(f"t{i}", {"c": [f"v{i}"]}) for i in range(3)]
+        catalog = Catalog.open(root, num_perm=8, bands=4)
+        catalog.refresh(corpus)
+        catalog.save()
+
+        # A peer catalog saves one more table after this catalog's state
+        # was settled; gc must re-read and spare it.
+        peer = Catalog.load(root, corpus=corpus + [Table("t9", {"c": ["z"]})])
+        peer.save()
+        assert catalog.gc() == 0
+        assert peer.verify()["problems"] == []
+
+
+def _doomed_builder(root, fingerprint):
+    store = CatalogStore(root)
+    store.write_object(
+        fingerprint, {"name": fingerprint}, {"c": make_entry({fingerprint})}
+    )
+    os._exit(KILLED_EXIT_CODE)  # dies holding the lease, before save()
+
+
+class TestCrashedBuilder:
+    def test_dead_writers_lease_expires_then_reclaims(self, tmp_path, monkeypatch):
+        """A builder killed between write and save leaks exactly one
+        lease window: gc spares the orphan while the lease is live and
+        reclaims it once the TTL (+ skew) elapses."""
+        root = str(tmp_path / "cat")
+        store = CatalogStore(root)
+        write(store, "aaaa0001")
+        store.release_writer_lease()
+
+        worker = fork_context().Process(
+            target=_doomed_builder, args=(root, "bbbb0002")
+        )
+        worker.start()
+        worker.join()
+        assert worker.exitcode == KILLED_EXIT_CODE
+
+        # While the dead writer's lease is still within TTL: protected.
+        assert store.gc(["aaaa0001"]) == 0
+        assert store.last_gc["skipped_leased"] == 1
+        assert store.has_object("bbbb0002")
+
+        # Past the TTL the orphan is garbage again — the leak is
+        # bounded by one lease window, not forever.
+        real_now = time.time
+        monkeypatch.setattr(
+            store_module, "_now", lambda: real_now() + DEFAULT_LEASE_TTL + 1
+        )
+        assert store.gc(["aaaa0001"]) == 1
+        assert not store.has_object("bbbb0002")
+        assert store.verify()["problems"] == []

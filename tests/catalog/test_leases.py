@@ -1,0 +1,181 @@
+"""Lease-manager semantics: fencing tokens, expiry, renewal, skew.
+
+These are the primitives the gc-race fix rests on (see
+``test_gc_race.py`` for the end-to-end schedules).
+"""
+
+import os
+
+import pytest
+
+from repro.catalog import CatalogStore, LocalFSBackend
+from repro.catalog.leases import DEFAULT_LEASE_TTL, LeaseManager
+from tests.harness.entries import make_entry
+
+
+class Clock:
+    def __init__(self, now=1000.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def manager(tmp_path, clock):
+    root = str(tmp_path / "store")
+    return LeaseManager(LocalFSBackend(root), root, ttl=10.0, clock=clock)
+
+
+class TestAcquireReleaseExpire:
+    def test_acquire_makes_lease_active(self, manager):
+        lease = manager.acquire()
+        assert lease.token in manager.active_tokens()
+        assert lease.kind == "writer"
+        assert lease.expires == lease.acquired + 10.0
+
+    def test_release_deactivates(self, manager):
+        lease = manager.acquire()
+        manager.release(lease)
+        assert manager.active_tokens() == set()
+
+    def test_double_release_is_harmless(self, manager):
+        lease = manager.acquire()
+        manager.release(lease)
+        manager.release(lease)
+
+    def test_expires_after_ttl(self, manager, clock):
+        lease = manager.acquire()
+        clock.now += 9.9
+        assert lease.token in manager.active_tokens()
+        clock.now += 0.2
+        assert lease.token not in manager.active_tokens()
+
+    def test_expired_lease_file_is_reaped(self, manager, clock, tmp_path):
+        lease = manager.acquire()
+        lease_dir = os.path.join(str(tmp_path / "store"), "leases")
+        assert os.path.exists(
+            os.path.join(lease_dir, f"{lease.owner}.json")
+        )
+        clock.now += 11
+        manager.active()  # observes expiry, reaps the file
+        assert not os.path.exists(
+            os.path.join(lease_dir, f"{lease.owner}.json")
+        )
+
+    def test_corrupt_lease_file_is_ignored(self, manager, tmp_path):
+        manager.acquire()
+        lease_dir = os.path.join(str(tmp_path / "store"), "leases")
+        with open(os.path.join(lease_dir, "junk.json"), "w") as handle:
+            handle.write("{ not a lease")
+        assert len(manager.active()) == 1
+
+
+class TestRenewal:
+    def test_renew_extends_expiry_keeps_token(self, manager, clock):
+        lease = manager.acquire()
+        clock.now += 8
+        renewed = manager.renew(lease)
+        assert renewed.token == lease.token
+        assert renewed.owner == lease.owner
+        clock.now += 8  # 16s after acquire, 8s after renewal
+        assert renewed.token in manager.active_tokens()
+
+
+class TestFencingTokens:
+    def test_tokens_strictly_increase(self, manager):
+        tokens = [manager.acquire().token for _ in range(5)]
+        assert tokens == sorted(tokens)
+        assert len(set(tokens)) == 5
+
+    def test_tokens_never_repeat_across_managers(self, tmp_path, clock):
+        """The counter is store state, not process state: a restarted
+        writer can never mint a token an earlier incarnation used."""
+        root = str(tmp_path / "store")
+        first = LeaseManager(LocalFSBackend(root), root, ttl=10, clock=clock)
+        a = first.acquire()
+        first.release(a)
+        second = LeaseManager(LocalFSBackend(root), root, ttl=10, clock=clock)
+        b = second.acquire()
+        assert b.token > a.token
+
+    def test_active_tokens_excludes_own(self, manager):
+        mine = manager.acquire()
+        other = manager.acquire()
+        assert manager.active_tokens(exclude=(mine,)) == {other.token}
+        assert manager.active_tokens(exclude=(mine, None)) == {other.token}
+
+
+class TestClockSkew:
+    def test_negative_age_reads_as_fresh(self, manager, clock):
+        """A reader whose clock lags the writer's sees a lease acquired
+        'in the future' — the clamped age keeps it fresh for a full TTL
+        from the reader's now, never instantly expired."""
+        lease = manager.acquire()
+        clock.now -= 100  # our clock falls behind the acquisition stamp
+        assert lease.token in manager.active_tokens()
+        clock.now += 100 + 9.9  # ttl not yet elapsed past the stamp
+        assert lease.token in manager.active_tokens()
+
+    def test_skew_allowance_widens_expiry(self, tmp_path, clock):
+        root = str(tmp_path / "store")
+        manager = LeaseManager(
+            LocalFSBackend(root), root, ttl=10.0, clock_skew=5.0, clock=clock
+        )
+        lease = manager.acquire()
+        clock.now += 12  # past ttl, inside ttl + skew
+        assert lease.token in manager.active_tokens()
+        clock.now += 4  # past ttl + skew
+        assert lease.token not in manager.active_tokens()
+
+
+class TestStoreIntegration:
+    def test_write_stamps_writer_lease(self, tmp_path):
+        store = CatalogStore(str(tmp_path / "cat"))
+        store.write_object("fp1", {"name": "t"}, {"c": make_entry({"v"})})
+        lease = store.writer_lease()
+        active = store.leases.active()
+        assert any(entry.token == lease.token for entry in active)
+        store.release_writer_lease()
+        assert store.leases.active_tokens() == set()
+
+    def test_writer_lease_is_cached_and_renewed(self, tmp_path, monkeypatch):
+        from repro.catalog import store as store_module
+
+        store = CatalogStore(str(tmp_path / "cat"))
+        first = store.writer_lease()
+        assert store.writer_lease() is first  # cached, not re-acquired
+        real_now = store_module._now
+        monkeypatch.setattr(
+            store_module,
+            "_now",
+            lambda: real_now() + DEFAULT_LEASE_TTL * 0.75,
+        )
+        renewed = store.writer_lease()
+        assert renewed.token == first.token
+        assert renewed.acquired > first.acquired
+
+    def test_lease_ttl_none_disables_leases(self, tmp_path):
+        store = CatalogStore(str(tmp_path / "cat"), lease_ttl=None)
+        assert store.leases is None
+        assert store.writer_lease() is None
+        store.write_object("fp1", {"name": "t"}, {"c": make_entry({"v"})})
+        # Lease-free stores keep the legacy record shape (plain codec
+        # version) — byte-identical to pre-lease layouts.
+        shard_dir = store._object_shard_dir("fp1")
+        record = store._read_shard_section(shard_dir, "objects")["fp1"]
+        assert isinstance(record, int)
+        assert not os.path.exists(os.path.join(store.root, "leases"))
+
+    def test_stats_counts_active_leases(self, tmp_path):
+        store = CatalogStore(str(tmp_path / "cat"))
+        assert store.stats()["leases"] == 0
+        store.write_object("fp1", {"name": "t"}, {"c": make_entry({"v"})})
+        assert store.stats()["leases"] == 1
+        store.release_writer_lease()
+        assert store.stats()["leases"] == 0

@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.catalog import CatalogStore, table_fingerprint
+from repro.catalog import store as store_module
 from repro.catalog.fingerprint import shard_of
 from repro.catalog.store import CODECS, VERSION, CatalogStoreError
 from repro.dataframe.table import Table
@@ -186,9 +187,12 @@ class TestShardedLayout:
         path = os.path.join(store.root, "objects", shard, "someid.bin")
         assert os.path.exists(path)
         assert store._object_path("someid") == path
-        # And the shard manifest records the codec that wrote it.
+        # And the shard manifest records the codec that wrote it (the
+        # record also carries the writer's lease token when leases are on).
         manifest = store._read_shard_manifest(os.path.dirname(path))
-        assert manifest["objects"]["someid"] == CODECS[2].version
+        record = manifest["objects"]["someid"]
+        assert store_module._record_codec(record) == CODECS[2].version
+        assert store_module._record_lease(record) is not None
 
     def test_shards_spread_across_directories(self, store):
         for i in range(64):
@@ -307,13 +311,28 @@ class TestLegacyLayoutReadThrough:
             handle.write(CODECS[1].encode(meta, entries))
 
     def test_flat_v1_object_readable(self, store):
+        # Real v1 stores only ever held fingerprint-shaped stems;
+        # list_objects now filters to that shape (stray-file fix).
+        fp = "deadbeefcafe0123"
         entries = {"c": make_entry({"a", "B "})}
-        self.write_v1_object(store, "fp", {"name": "t"}, entries)
-        assert store.has_object("fp")
-        assert "fp" in store.list_objects()
-        meta, loaded = store.read_object("fp")
+        self.write_v1_object(store, fp, {"name": "t"}, entries)
+        assert store.has_object(fp)
+        assert fp in store.list_objects()
+        meta, loaded = store.read_object(fp)
         assert meta == {"name": "t"}
         assert loaded == entries
+
+    def test_stray_json_in_objects_root_is_ignored(self, store):
+        # Satellite fix: a non-object *.json planted in the objects root
+        # (editor droppings, notes, a copied manifest) must never be
+        # reported as a fingerprint — gc would "delete" it.
+        os.makedirs(os.path.join(store.root, "objects"), exist_ok=True)
+        stray = os.path.join(store.root, "objects", "NOTES.json")
+        with open(stray, "w") as handle:
+            json.dump({"scratch": True}, handle)
+        assert store.list_objects() == []
+        store.gc([])
+        assert os.path.exists(stray)
 
     def test_write_supersedes_flat_v1_object(self, store):
         self.write_v1_object(store, "fp", {"name": "old"}, {"c": make_entry({"a"})})
@@ -410,3 +429,55 @@ class TestProfileEviction:
 
 def _group_bytes(store, base_fingerprint):
     return os.path.getsize(store._profile_path(base_fingerprint))
+
+
+class TestEvictionVanishedFileRace:
+    """A file deleted between the directory listing and the mtime stat
+    (a concurrent eviction or gc) is skipped, never a crash — the
+    satellite regression for the mtime-ordered fallback paths."""
+
+    def _vanish_on_listing(self, store, monkeypatch, doomed_path):
+        real_listdir = store.backend.listdir
+
+        def listing(path):
+            names = real_listdir(path)
+            if os.path.basename(doomed_path) in names and os.path.exists(
+                doomed_path
+            ):
+                os.remove(doomed_path)
+            return names
+
+        monkeypatch.setattr(store.backend, "listdir", listing)
+
+    def test_sharded_profile_ghost_skipped(self, store, monkeypatch):
+        store.write_profiles("aaaa1111", {"k": np.array([0.5])})
+        # An unbookkept group (no manifest entry → mtime fallback) that
+        # vanishes mid-inventory.
+        ghost_path = store._profile_path("bbbb2222")
+        os.makedirs(os.path.dirname(ghost_path), exist_ok=True)
+        with open(ghost_path, "wb") as handle:
+            handle.write(b"stale npz bytes")
+        self._vanish_on_listing(store, monkeypatch, ghost_path)
+        evicted, _freed = store.evict_profiles(0)
+        assert evicted == 1  # the real group; the ghost neither
+        assert store.list_profile_groups() == []  # crashed nor counted
+
+    def test_legacy_flat_profile_ghost_skipped(self, store, monkeypatch):
+        store.write_profiles("aaaa1111", {"k": np.array([0.5])})
+        os.makedirs(os.path.join(store.root, "profiles"), exist_ok=True)
+        ghost_path = store._legacy_profile_path("oldghost")
+        with open(ghost_path, "w") as handle:
+            json.dump({"entries": {"k": [0.5]}}, handle)
+        self._vanish_on_listing(store, monkeypatch, ghost_path)
+        evicted, _freed = store.evict_profiles(0)
+        assert evicted == 1
+
+    def test_result_ghost_skipped(self, store, monkeypatch):
+        store.write_result("cafe0001", {"run": 1})
+        ghost_path = store._result_path("dead0002")
+        os.makedirs(os.path.dirname(ghost_path), exist_ok=True)
+        with open(ghost_path, "w") as handle:
+            json.dump({"run": 2}, handle)
+        self._vanish_on_listing(store, monkeypatch, ghost_path)
+        evicted, _freed = store.evict_results(0)
+        assert evicted == 1

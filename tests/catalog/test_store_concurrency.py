@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.catalog import Catalog, CatalogStore
+from repro.catalog import store as store_module
 from repro.dataframe.table import Table
 from tests.harness.entries import make_entry, same_shard_fingerprints
 from tests.harness.faults import (
@@ -179,7 +180,8 @@ class TestCrashSafety:
         log_path = store._shard_log_path(shard_dir)
         assert os.path.exists(log_path)
         assert store.has_object(first)
-        assert store._read_shard_section(shard_dir, "objects")[first] == 2
+        record = store._read_shard_section(shard_dir, "objects")[first]
+        assert store_module._record_codec(record) == 2
         assert store.verify()["problems"] == []
 
         # The next writer in the shard compacts: log cleared, both
@@ -201,7 +203,8 @@ class TestCrashSafety:
 
         shard_dir = store._object_shard_dir(first)
         assert os.path.exists(store._shard_log_path(shard_dir))
-        assert store._read_shard_section(shard_dir, "objects")[first] == 2
+        record = store._read_shard_section(shard_dir, "objects")[first]
+        assert store_module._record_codec(record) == 2
         assert store.read_object(first)[0] == {"name": first}
         assert store.verify()["problems"] == []
 
@@ -226,7 +229,7 @@ class TestCrashSafety:
             torn_tail='{"section": "objects", "op": "se',  # torn mid-record
         )
         recorded = store._read_shard_section(shard_dir, "objects")
-        assert recorded[fingerprint] == 2
+        assert store_module._record_codec(recorded[fingerprint]) == 2
         assert recorded["extra"] == 2  # complete log record applies
 
     def test_log_delete_record_applies(self, store):

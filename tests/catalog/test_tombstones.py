@@ -106,6 +106,62 @@ class TestDeleteProtocol:
         assert store.verify()["problems"] == []
 
 
+class TestTombstonePruningClockSkew:
+    """Pruning judges tombstones by clamped age under a configurable
+    horizon — a lagging local clock or a peer's fast clock must never
+    prune a fresh tombstone early (the satellite regression)."""
+
+    def test_future_stamped_tombstone_is_fresh_not_ancient(
+        self, store, monkeypatch
+    ):
+        """A peer with a faster clock stamps a tombstone 'in the
+        future'; our clamped age reads 0 — fresh — so compactions keep
+        it until a full TTL elapses past the stamp."""
+        fp, other = same_shard_fingerprints(2)
+        write(store, fp)
+        real_now = store_module._now
+        # Stamp the deletion 1h ahead of our clock (the peer's clock).
+        monkeypatch.setattr(store_module, "_now", lambda: real_now() + 3600)
+        store.delete_object(fp)
+        # Back on our (lagging) clock, a compaction runs: the tombstone
+        # has negative raw age and must survive.
+        monkeypatch.setattr(store_module, "_now", real_now)
+        write(store, other)
+        assert fp in store.list_tombstones()
+        assert store.verify()["problems"] == []
+
+    def test_clock_skew_allowance_delays_pruning(self, tmp_path, monkeypatch):
+        """With ``clock_skew=S``, a tombstone aged past the TTL but
+        inside TTL+S survives — a pruner whose clock runs ahead by up
+        to S cannot drop another writer's fresh tombstone."""
+        store = CatalogStore(
+            str(tmp_path / "cat"), tombstone_ttl=100.0, clock_skew=50.0
+        )
+        fp, other, third = same_shard_fingerprints(3)
+        write(store, fp)
+        store.delete_object(fp)
+        real_now = store_module._now
+        monkeypatch.setattr(store_module, "_now", lambda: real_now() + 130)
+        write(store, other)  # ttl < age 130 < ttl + skew: kept
+        assert fp in store.list_tombstones()
+        monkeypatch.setattr(store_module, "_now", lambda: real_now() + 151)
+        write(store, third)  # past ttl + skew: pruned
+        assert fp not in store.list_tombstones()
+        assert store.verify()["problems"] == []
+
+    def test_tombstone_ttl_is_per_store_configurable(
+        self, tmp_path, monkeypatch
+    ):
+        store = CatalogStore(str(tmp_path / "cat"), tombstone_ttl=5.0)
+        fp, other = same_shard_fingerprints(2)
+        write(store, fp)
+        store.delete_object(fp)
+        real_now = store_module._now
+        monkeypatch.setattr(store_module, "_now", lambda: real_now() + 6)
+        write(store, other)
+        assert fp not in store.list_tombstones()
+
+
 class TestCrashedDeleter:
     def test_deleter_dies_before_file_removal(self, store):
         """Killed after the tombstone append, before any file is gone:
