@@ -154,7 +154,7 @@ def test_catalog_shard_scale(benchmark, tmp_path):
         assert [c.aug_id for c in v1_candidates] == [
             c.aug_id for c in v2_candidates
         ]
-        for v2_c, v1_c in zip(v2_candidates, v1_candidates):
+        for v2_c, v1_c in zip(v2_candidates, v1_candidates, strict=True):
             assert np.array_equal(v2_c.profile_vector, v1_c.profile_vector)
         for entry in results:
             entry.pop("corpus")

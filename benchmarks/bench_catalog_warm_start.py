@@ -105,7 +105,7 @@ def test_catalog_warm_start(benchmark, tmp_path):
         assert [c.aug_id for c in warm_candidates] == [
             c.aug_id for c in cold_candidates
         ]
-        for cold_c, warm_c in zip(cold_candidates, warm_candidates):
+        for cold_c, warm_c in zip(cold_candidates, warm_candidates, strict=True):
             assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
 
         return {

@@ -112,7 +112,7 @@ def test_obs_overhead(benchmark):
                 assert handle.completed
 
         overhead = statistics.median(
-            lit_t / dark_t - 1.0 for lit_t, dark_t in zip(t_on, t_off)
+            lit_t / dark_t - 1.0 for lit_t, dark_t in zip(t_on, t_off, strict=True)
         )
 
         # --- the CI artifact: the instrumented engine's exposition.

@@ -74,7 +74,7 @@ def main():
     names = default_registry().names
     weights = metam.extras["profile_weights"]
     print("\nLearned profile importance:")
-    for name, weight in sorted(zip(names, weights), key=lambda p: -p[1]):
+    for name, weight in sorted(zip(names, weights, strict=True), key=lambda p: -p[1]):
         print(f"  {name:20s} {weight:.3f}")
     print(f"\nEngine stats: {engine.stats()['runs_completed']} runs served, "
           f"{engine.stats()['queries_served']} queries, "

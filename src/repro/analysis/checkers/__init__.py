@@ -1,0 +1,16 @@
+"""reprolint checkers.  Importing this package registers every
+built-in checker with :mod:`repro.analysis.core`'s registry."""
+
+from repro.analysis.checkers.atomic_write import AtomicWriteChecker
+from repro.analysis.checkers.blocking import BlockingUnderLockChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.metrics_hygiene import MetricsHygieneChecker
+from repro.analysis.checkers.vfs import CatalogVfsChecker
+
+__all__ = [
+    "AtomicWriteChecker",
+    "BlockingUnderLockChecker",
+    "CatalogVfsChecker",
+    "LockDisciplineChecker",
+    "MetricsHygieneChecker",
+]

@@ -1,0 +1,245 @@
+"""Core model for reprolint: findings, file contexts, the checker
+registry, and inline suppressions.
+
+reprolint is an AST-based lint pass for *this* codebase's invariants —
+the conventions the concurrent catalog/engine stack relies on but no
+generic tool enforces (lock ordering, the StoreBackend VFS boundary,
+atomic-rename durability, metrics hygiene).  Checkers are small classes
+registered by name; the driver (:mod:`repro.analysis.driver`) parses
+files in parallel, runs every checker, and applies suppressions and the
+committed baseline (:mod:`repro.analysis.baseline`).
+
+Suppressions are inline comments::
+
+    something_flagged()  # reprolint: disable=blocking-under-lock
+
+suppress the named check(s) on that line (comma-separated, or ``all``).
+A ``# reprolint: disable-file=<check>`` comment anywhere in a file
+suppresses the check for the whole file.  Suppressions are deliberate,
+visible exemptions; the baseline is for pre-existing debt that should
+ratchet down.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Type
+
+#: Severities, mildest last.  ``error`` findings fail the lint run
+#: (unless baselined); ``warning`` findings are reported but advisory.
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_\-,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressed by repo-relative path + line."""
+
+    check: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    baselined: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "baselined": self.baselined,
+        }
+
+    def with_baselined(self) -> "Finding":
+        return replace(self, baselined=True)
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint: disable=...`` comments for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def covers(self, check: str, line: int) -> bool:
+        if "all" in self.file_wide or check in self.file_wide:
+            return True
+        names = self.by_line.get(line)
+        return names is not None and ("all" in names or check in names)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    out = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        names = {
+            name.strip() for name in match.group(2).split(",") if name.strip()
+        }
+        if match.group(1) == "disable-file":
+            out.file_wide |= names
+        else:
+            out.by_line.setdefault(lineno, set()).update(names)
+    return out
+
+
+class FileContext:
+    """One parsed source file as seen by checkers."""
+
+    def __init__(self, path: Path, rel: str, source: str, tree: ast.AST):
+        self.path = path
+        self.rel = rel  # posix-style, relative to the lint root
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(source)
+        self.module = module_name(rel)
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (empty string when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+    def finding(
+        self,
+        check: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        return Finding(
+            check=check,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity,
+        )
+
+
+def module_name(rel: str) -> str:
+    """Dotted module name for a repo-relative path (``src/`` layout
+    aware): ``src/repro/catalog/store.py`` → ``repro.catalog.store``.
+    Paths outside a package layout fall back to slash→dot of the stem.
+    """
+    parts = Path(rel).parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    stem = list(parts[:-1]) + [Path(parts[-1]).stem]
+    if stem[-1] == "__init__":
+        stem = stem[:-1]
+    return ".".join(stem)
+
+
+class ProjectContext:
+    """Everything the project-level (``finish``) pass sees: all file
+    contexts, keyed both by relative path and by module name."""
+
+    def __init__(self, files: List[FileContext]):
+        self.files = list(files)
+        self.by_rel = {ctx.rel: ctx for ctx in self.files}
+        self.by_module = {ctx.module: ctx for ctx in self.files if ctx.module}
+
+
+class Checker:
+    """Base class for reprolint checkers.
+
+    Subclasses set ``name``/``description`` and override
+    :meth:`check_file` (per-file, runs in parallel) and/or
+    :meth:`finish` (project-level, runs once after every file parsed —
+    the inter-procedural passes live here).
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers(only: Optional[Iterable[str]] = None) -> List[Checker]:
+    """Fresh instances of every registered checker (or the named
+    subset).  Importing :mod:`repro.analysis.checkers` populates the
+    registry."""
+    import repro.analysis.checkers  # noqa: F401  (registration side effect)
+
+    if only is None:
+        names = sorted(_REGISTRY)
+    else:
+        names = []
+        for name in only:
+            if name not in _REGISTRY:
+                known = ", ".join(sorted(_REGISTRY))
+                raise KeyError(f"unknown check {name!r} (known: {known})")
+            names.append(name)
+    return [_REGISTRY[name]() for name in names]
+
+
+def checker_catalogue() -> List[Tuple[str, str]]:
+    """(name, description) for every registered checker, sorted."""
+    import repro.analysis.checkers  # noqa: F401
+
+    return [
+        (name, _REGISTRY[name].description) for name in sorted(_REGISTRY)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several checkers
+# ---------------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """Last component of a Name/Attribute chain (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_root(node: ast.AST) -> Optional[str]:
+    """First component of a Name/Attribute chain (``a`` for ``a.b.c``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -39,6 +39,10 @@ import json
 import os
 import time
 import uuid
+from typing import TYPE_CHECKING, Callable, ContextManager, Iterable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.catalog.backend import StoreBackend
 
 #: Default lease lifetime (seconds): long enough for a builder's
 #: write→save window under heavy load, short enough that a crashed
@@ -56,7 +60,14 @@ class Lease:
 
     __slots__ = ("owner", "token", "acquired", "ttl", "kind")
 
-    def __init__(self, owner, token, acquired, ttl, kind="writer"):
+    def __init__(
+        self,
+        owner: str,
+        token: int,
+        acquired: float,
+        ttl: float,
+        kind: str = "writer",
+    ) -> None:
         self.owner = owner
         self.token = int(token)
         self.acquired = float(acquired)
@@ -67,7 +78,7 @@ class Lease:
     def expires(self) -> float:
         return self.acquired + self.ttl
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Lease(owner={self.owner!r}, token={self.token}, "
             f"kind={self.kind!r}, ttl={self.ttl})"
@@ -85,8 +96,14 @@ class LeaseManager:
     to its own overridable clock).
     """
 
-    def __init__(self, backend, root, ttl=DEFAULT_LEASE_TTL,
-                 clock_skew=0.0, clock=time.time):
+    def __init__(
+        self,
+        backend: StoreBackend,
+        root: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        clock_skew: float = 0.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.backend = backend
         self.root = str(root)
         self.ttl = float(ttl)
@@ -97,7 +114,7 @@ class LeaseManager:
     def _lease_path(self, owner: str) -> str:
         return os.path.join(self._dir, f"{owner}.json")
 
-    def _lock(self):
+    def _lock(self) -> ContextManager[object]:
         return self.backend.lock(os.path.join(self._dir, LOCK_NAME))
 
     def _next_token(self) -> int:
@@ -160,14 +177,14 @@ class LeaseManager:
         age = max(0.0, now - lease.acquired)
         return age >= lease.ttl + self.clock_skew
 
-    def active(self, reap: bool = True) -> list:
+    def active(self, reap: bool = True) -> List[Lease]:
         """All currently active leases (lock-free read; lease files are
         written atomically).  ``reap`` best-effort removes expired lease
         files so the directory stays bounded."""
         if not self.backend.isdir(self._dir):
             return []
         now = self.clock()
-        out = []
+        out: List[Lease] = []
         try:
             names = self.backend.listdir(self._dir)
         except OSError:
@@ -197,7 +214,7 @@ class LeaseManager:
             out.append(lease)
         return out
 
-    def active_tokens(self, exclude=()) -> set:
+    def active_tokens(self, exclude: Iterable[Optional[Lease]] = ()) -> Set[int]:
         """Fencing tokens of active leases, minus ``exclude`` (a gc
         pass excludes its own lease when deciding what to skip)."""
         excluded = {lease.token for lease in exclude if lease is not None}

@@ -1038,21 +1038,53 @@ class CatalogStore:
         """This store's current writer lease (acquired on first use,
         renewed once half its TTL has passed), or ``None`` when leases
         are disabled.  Object records stamp its fencing token so gc can
-        tell in-flight work from garbage."""
+        tell in-flight work from garbage.
+
+        The guard only protects the ``_writer_lease`` slot; the lease
+        *file* work — ``acquire()``/``renew()`` take the store-wide
+        lease lock and write through the backend — runs outside it, so
+        a slow disk (or contended lease lock) never stalls every other
+        thread's ``writer_lease()`` behind an in-process mutex.  Two
+        threads racing the cold path may both acquire; the loser's
+        surplus lease is released immediately and both return the
+        published one.
+        """
         if self.leases is None:
             return None
         with self._writer_lease_guard:
             lease = self._writer_lease
-            if lease is None:
-                lease = self.leases.acquire(kind="writer")
-                if self.obs is not None:
-                    self.obs["lease_acquires"].labels(kind="writer").inc()
-            elif _now() - lease.acquired > self.leases.ttl / 2:
-                lease = self.leases.renew(lease)
-                if self.obs is not None:
-                    self.obs["lease_renewals"].inc()
-            self._writer_lease = lease
+        if lease is not None and _now() - lease.acquired <= self.leases.ttl / 2:
             return lease
+        if lease is None:
+            fresh = self.leases.acquire(kind="writer")
+            if self.obs is not None:
+                self.obs["lease_acquires"].labels(kind="writer").inc()
+        else:
+            fresh = self.leases.renew(lease)
+            if self.obs is not None:
+                self.obs["lease_renewals"].inc()
+        surplus = None
+        with self._writer_lease_guard:
+            current = self._writer_lease
+            if current is lease or current is None:
+                # Uncontended (or a release landed meanwhile): publish
+                # ours.  Publishing a renewal after a concurrent
+                # release re-establishes ownership, which is exactly
+                # what this caller asked for.
+                self._writer_lease = fresh
+                published = fresh
+            elif lease is None:
+                # Another thread's acquire won the race; ours is
+                # surplus and must be returned, not leaked until TTL.
+                surplus = fresh
+                published = current
+            else:
+                # Another thread renewed the same lease first; either
+                # stamp carries the same owner and token — keep theirs.
+                published = current
+        if surplus is not None:
+            self.leases.release(surplus)
+        return published
 
     def release_writer_lease(self) -> None:
         """Give up write ownership — called once the writer's references

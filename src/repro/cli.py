@@ -39,6 +39,15 @@ Commands
     synthetic content are re-signed off any serving engine's query
     path.  ``repro run --staleness-budget`` serves through a background
     refresher, bounding how stale the served snapshot may be.
+``lint``
+    Run reprolint, the repo's invariant-aware static analysis pass
+    (see :mod:`repro.analysis`): lock-order inversions and bare
+    ``acquire()``, blocking calls under in-process mutexes, raw I/O
+    bypassing the StoreBackend VFS, non-atomic writes to durable
+    files, and metrics hygiene.  ``--json``/``--json-out`` emit the
+    machine-readable report, ``--baseline``/``--update-baseline``
+    manage the ratchet-down debt baseline, and ``--check-baseline``
+    (CI mode) also fails on stale baseline entries.
 """
 
 from __future__ import annotations
@@ -314,6 +323,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="stop after N cycles (default: run until Ctrl-C)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the invariant-aware static analysis pass "
+        "(lock discipline, blocking-under-lock, store-VFS boundary, "
+        "atomic writes, metrics hygiene)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: ./src)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    lint.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of accepted pre-existing findings "
+        "(default: ./reprolint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current findings "
+        "(the only way the baseline grows)",
+    )
+    lint.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail on stale baseline entries (fixed findings "
+        "whose entries were not removed) — what CI runs",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CHECKS",
+        default=None,
+        help="comma-separated checker names to run (default: all)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel parse/check workers (default: auto)",
+    )
+    lint.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list registered checkers and exit",
     )
     return parser
 
@@ -889,6 +958,83 @@ def _save_corpus_args(catalog_dir: str, corpus_args: dict) -> None:
     CatalogStore(catalog_dir).write_aux(_CORPUS_ARGS_FILE, corpus_args)
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        checker_catalogue,
+        default_baseline_path,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_checks:
+        for name, description in checker_catalogue():
+            print(f"{name}: {description}")
+        return 0
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        _error(f"no such path: {missing[0]}")
+        return 2
+    checks = None
+    if args.select:
+        checks = [c.strip() for c in args.select.split(",") if c.strip()]
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else default_baseline_path(root)
+    )
+    entries = []
+    if not args.update_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as error:
+            _error(str(error))
+            return 2
+
+    try:
+        result = lint_paths(
+            paths,
+            root=root,
+            checks=checks,
+            jobs=args.jobs,
+            baseline_entries=entries,
+        )
+    except KeyError as error:
+        _error(str(error.args[0]) if error.args else str(error))
+        return 2
+
+    if args.update_baseline:
+        count = write_baseline(
+            baseline_path,
+            [f for f in result.findings if f.severity == "error"],
+            result.sources,
+        )
+        print(
+            f"reprolint: baselined {count} finding(s) in {baseline_path}"
+        )
+        return 0
+
+    report = render_json(result)
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_text(result))
+    return 0 if result.ok(check_stale=args.check_baseline) else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     # (Re)configure on every entry so repeated in-process invocations
@@ -907,6 +1053,8 @@ def main(argv=None) -> int:
         return _cmd_corpus_stats(args)
     if args.command == "catalog":
         return _cmd_catalog(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -45,7 +45,7 @@ def render_traces(
         row = height - 1 - min(height - 1, max(0, int(rel * (height - 1))))
         return row, col
 
-    for glyph, (name, result) in zip(_GLYPHS, results.items()):
+    for glyph, (name, result) in zip(_GLYPHS, results.items(), strict=False):
         for col in range(width):
             queries = int(round(col / (width - 1) * max_queries))
             value = result.utility_at(max(1, queries))
@@ -65,7 +65,7 @@ def render_traces(
     lines.append("     +" + "-" * width)
     lines.append(f"      0{'queries':^{width - 12}}{max_queries:>10}")
     legend = "  ".join(
-        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, results.keys())
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, results.keys(), strict=False)
     )
     lines.append("      " + legend)
     return "\n".join(lines)

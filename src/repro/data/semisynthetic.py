@@ -62,7 +62,7 @@ def semisynthetic_scenario(
     )[:n_donors]
     weights = rng.uniform(0.6, 1.4, size=n_donors)
     signal = sum(
-        w * columns[name] for w, name in zip(weights, donor_names)
+        w * columns[name] for w, name in zip(weights, donor_names, strict=True)
     ) + rng.normal(scale=0.4, size=n_keys)
 
     builder.add_erroneous(n_erroneous, signal_values=signal.tolist())

@@ -254,7 +254,7 @@ class Table:
                 raise ValueError(
                     f"row has {len(row)} cells, expected {len(column_names)}"
                 )
-            for c, v in zip(column_names, row):
+            for c, v in zip(column_names, row, strict=True):
                 columns[c].append(v)
         return cls(name, columns, source=source)
 

@@ -28,7 +28,7 @@ def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
         labels = np.unique(np.concatenate([y_true, y_pred]))
     index = {lab: i for i, lab in enumerate(labels)}
     out = np.zeros((len(labels), len(labels)), dtype=int)
-    for t, p in zip(y_true, y_pred):
+    for t, p in zip(y_true, y_pred, strict=True):
         out[index[t], index[p]] += 1
     return out
 

@@ -28,12 +28,13 @@ import json
 import logging
 import sys
 import time
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
+from typing import Optional, Tuple
 
 ROOT_LOGGER = "repro"
 _HANDLER_TAG = "_repro_structured_handler"
 
-_CONTEXT: ContextVar = ContextVar("repro_log_context", default=())
+_CONTEXT: ContextVar[Tuple] = ContextVar("repro_log_context", default=())
 
 
 class log_context:
@@ -47,14 +48,15 @@ class log_context:
 
     def __init__(self, **fields):
         self._fields = tuple(fields.items())
-        self._token = None
+        self._token: Optional[Token] = None
 
     def __enter__(self):
         self._token = _CONTEXT.set(_CONTEXT.get() + self._fields)
         return self
 
     def __exit__(self, *exc_info):
-        _CONTEXT.reset(self._token)
+        if self._token is not None:
+            _CONTEXT.reset(self._token)
         return False
 
 

@@ -37,6 +37,7 @@ import json
 import math
 import re
 import threading
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class MetricsError(ValueError):
@@ -210,7 +211,8 @@ class MetricFamily:
         self.label_names = tuple(label_names)
         self._buckets = buckets
         self._lock = threading.Lock()
-        self._children = {}  # label-value tuple -> instrument
+        # label-value tuple -> instrument
+        self._children: Dict[Tuple[str, ...], Any] = {}
         self.overflowed = 0  # label sets collapsed into the overflow series
         if not self.label_names:
             # Label-less families always expose their single series, so
@@ -298,7 +300,7 @@ class MetricsRegistry:
             )
         self.max_series_per_metric = int(max_series_per_metric)
         self._lock = threading.Lock()
-        self._families = {}  # name -> MetricFamily
+        self._families: Dict[str, MetricFamily] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -337,7 +339,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def get(self, name) -> MetricFamily:
+    def get(self, name) -> Optional[MetricFamily]:
         with self._lock:
             return self._families.get(name)
 
@@ -366,16 +368,16 @@ class MetricsRegistry:
         """
         with self._lock:
             families = list(self._families.values())
-        out = {}
+        out: Dict[str, Any] = {}
         for family in sorted(families, key=lambda f: f.name):
-            series = []
+            series: List[Dict[str, Any]] = []
             for values, instrument in family.series():
-                labels = dict(zip(family.label_names, values))
+                labels = dict(zip(family.label_names, values, strict=True))
                 if family.kind == "histogram":
                     bounds, counts, total, count = instrument.state()
-                    cumulative = {}
+                    cumulative: Dict[str, int] = {}
                     running = 0
-                    for bound, bucket_count in zip(bounds, counts):
+                    for bound, bucket_count in zip(bounds, counts, strict=False):
                         running += bucket_count
                         cumulative[_format_bound(bound)] = running
                     cumulative["+Inf"] = count
@@ -407,7 +409,7 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition (version 0.0.4) of every family."""
-        lines = []
+        lines: List[str] = []
         for name, family in sorted(self.snapshot().items()):
             if family["help"]:
                 lines.append(f"# HELP {name} {_escape_help(family['help'])}")

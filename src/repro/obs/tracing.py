@@ -25,12 +25,15 @@ a pathological run cannot balloon its own record.
 from __future__ import annotations
 
 import time
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
+from typing import Any, Dict, List, Optional
 
 #: Children per span before further ones are dropped (and counted).
 MAX_CHILDREN = 256
 
-_ACTIVE: ContextVar = ContextVar("repro_active_span", default=None)
+_ACTIVE: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_active_span", default=None
+)
 
 
 class Span:
@@ -38,12 +41,12 @@ class Span:
 
     __slots__ = ("name", "attrs", "children", "start", "end", "dropped")
 
-    def __init__(self, name: str, attrs: dict = None):
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
         self.name = name
-        self.attrs = dict(attrs) if attrs else {}
-        self.children = []
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List[Span] = []
         self.start = time.perf_counter()
-        self.end = None
+        self.end: Optional[float] = None
         self.dropped = 0
 
     @property
@@ -53,7 +56,7 @@ class Span:
             self.start
         )
 
-    def child(self, name: str, attrs: dict = None):
+    def child(self, name: str, attrs: Optional[dict] = None) -> Optional[Span]:
         """Attach a child span, or ``None`` when the cap is reached."""
         if len(self.children) >= MAX_CHILDREN:
             self.dropped += 1
@@ -69,7 +72,7 @@ class Span:
         if self.end is None:
             self.end = time.perf_counter()
 
-    def to_record(self, _origin: float = None) -> dict:
+    def to_record(self, _origin: Optional[float] = None) -> dict:
         """JSON-safe tree: millisecond offsets from the root's start."""
         origin = self.start if _origin is None else _origin
         end = self.end if self.end is not None else time.perf_counter()
@@ -113,11 +116,11 @@ class _SpanCtx:
 
     __slots__ = ("_name", "_attrs", "_span", "_token")
 
-    def __init__(self, name, attrs, parent):
+    def __init__(self, name: str, attrs: dict, parent: Span) -> None:
         self._name = name
         self._attrs = attrs
         self._span = parent.child(name, attrs)
-        self._token = None
+        self._token: Optional[Token] = None
 
     def __enter__(self):
         if self._span is not None:
@@ -125,7 +128,7 @@ class _SpanCtx:
         return self._span
 
     def __exit__(self, exc_type, exc, tb):
-        if self._span is not None:
+        if self._span is not None and self._token is not None:
             if exc_type is not None:
                 self._span.annotate(error=exc_type.__name__)
             self._span.finish()
@@ -154,7 +157,7 @@ def mark(name: str, **attrs) -> None:
         node.finish()
 
 
-def active_span():
+def active_span() -> Optional[Span]:
     """The innermost open span, or ``None`` when no trace is active."""
     return _ACTIVE.get()
 
@@ -162,9 +165,9 @@ def active_span():
 class _RootCtx:
     __slots__ = ("_root", "_token")
 
-    def __init__(self, root):
+    def __init__(self, root: Optional[Span]) -> None:
         self._root = root
-        self._token = None
+        self._token: Optional[Token] = None
 
     def __enter__(self):
         if self._root is not None:
@@ -172,7 +175,7 @@ class _RootCtx:
         return self._root
 
     def __exit__(self, exc_type, exc, tb):
-        if self._root is not None:
+        if self._root is not None and self._token is not None:
             if exc_type is not None:
                 self._root.annotate(error=exc_type.__name__)
             self._root.finish()

@@ -290,7 +290,7 @@ class TestStripedPrepare:
         for seed, got in prepared.items():
             want = reference[seed]
             assert [c.aug_id for c in got] == [c.aug_id for c in want]
-            for a, b in zip(got, want):
+            for a, b in zip(got, want, strict=True):
                 assert np.array_equal(a.profile_vector, b.profile_vector)
         assert shared.stats()["prepared_candidate_sets"] == 3
         assert shared.stats()["active_prepares"] == 0  # key locks cleaned up
@@ -325,5 +325,5 @@ class TestStripedPrepare:
         for seed, got in prepared.items():
             want = reference[seed]
             assert [c.aug_id for c in got] == [c.aug_id for c in want]
-            for a, b in zip(got, want):
+            for a, b in zip(got, want, strict=True):
                 assert np.array_equal(a.profile_vector, b.profile_vector)

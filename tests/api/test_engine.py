@@ -85,7 +85,7 @@ class TestPrepare:
             legacy = prepare_candidates(scenario.base, scenario.corpus, seed=0)
         fresh = engine.prepare(scenario.base, seed=0)
         assert [c.aug_id for c in fresh] == [c.aug_id for c in legacy]
-        for a, b in zip(fresh, legacy):
+        for a, b in zip(fresh, legacy, strict=True):
             assert np.array_equal(a.profile_vector, b.profile_vector)
 
     def test_prepare_cached_across_calls(self, scenario):

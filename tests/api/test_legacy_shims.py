@@ -61,7 +61,7 @@ class TestDelegation:
             legacy = prepare_candidates(scenario.base, scenario.corpus, seed=0)
         fresh = engine.prepare(scenario.base, seed=0)
         assert [c.aug_id for c in legacy] == [c.aug_id for c in fresh]
-        for a, b in zip(legacy, fresh):
+        for a, b in zip(legacy, fresh, strict=True):
             assert np.array_equal(a.profile_vector, b.profile_vector)
             assert a.values == b.values
 

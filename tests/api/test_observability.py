@@ -138,7 +138,7 @@ class TestStats:
 
     def test_failed_run_counted(self, scenario):
         engine = DiscoveryEngine(corpus=scenario.corpus)
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             engine.discover(request_for(scenario, searcher="iarda"))
         assert (
             engine.metrics.value("repro_engine_runs_total", status="failed")

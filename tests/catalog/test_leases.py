@@ -160,6 +160,69 @@ class TestStoreIntegration:
         assert renewed.token == first.token
         assert renewed.acquired > first.acquired
 
+    def test_writer_lease_io_runs_outside_guard(self, tmp_path, monkeypatch):
+        # Regression (reprolint blocking-under-lock): acquire/renew do
+        # lease-file I/O through the backend, so they must never run
+        # while the in-process ``_writer_lease_guard`` is held — a slow
+        # disk would stall every thread calling writer_lease().
+        from repro.catalog import store as store_module
+
+        store = CatalogStore(str(tmp_path / "cat"))
+        real_acquire = store.leases.acquire
+        real_renew = store.leases.renew
+
+        def checked_acquire(*args, **kwargs):
+            assert not store._writer_lease_guard.locked()
+            return real_acquire(*args, **kwargs)
+
+        def checked_renew(*args, **kwargs):
+            assert not store._writer_lease_guard.locked()
+            return real_renew(*args, **kwargs)
+
+        monkeypatch.setattr(store.leases, "acquire", checked_acquire)
+        monkeypatch.setattr(store.leases, "renew", checked_renew)
+        first = store.writer_lease()
+        real_now = store_module._now
+        monkeypatch.setattr(
+            store_module,
+            "_now",
+            lambda: real_now() + DEFAULT_LEASE_TTL * 0.75,
+        )
+        renewed = store.writer_lease()
+        assert renewed.token == first.token
+
+    def test_writer_lease_cold_race_releases_surplus(self, tmp_path):
+        # Two threads racing the first writer_lease() may both acquire;
+        # the loser's lease must be released (not leaked until TTL) and
+        # both callers must observe the same published lease.
+        import threading
+
+        store = CatalogStore(str(tmp_path / "cat"))
+        barrier = threading.Barrier(2)
+        real_acquire = store.leases.acquire
+
+        def racing_acquire(*args, **kwargs):
+            barrier.wait(timeout=5)
+            return real_acquire(*args, **kwargs)
+
+        store.leases.acquire = racing_acquire
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(store.writer_lease())
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 2
+        assert results[0].token == results[1].token
+        active = store.leases.active()
+        assert len(active) == 1
+        assert active[0].token == results[0].token
+
     def test_lease_ttl_none_disables_leases(self, tmp_path):
         store = CatalogStore(str(tmp_path / "cat"), lease_ttl=None)
         assert store.leases is None

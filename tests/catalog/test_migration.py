@@ -96,7 +96,7 @@ def v1_catalog(tmp_path):
 def assert_same_candidates(cold, warm):
     assert [c.aug_id for c in warm] == [c.aug_id for c in cold]
     assert [c.overlap for c in warm] == [c.overlap for c in cold]
-    for cold_c, warm_c in zip(cold, warm):
+    for cold_c, warm_c in zip(cold, warm, strict=True):
         assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
 
 

@@ -33,7 +33,7 @@ class TestWarmStartEquivalence:
         assert warm_catalog.computed_columns == 0
         assert [c.aug_id for c in warm] == [c.aug_id for c in cold]
         assert [c.overlap for c in warm] == [c.overlap for c in cold]
-        for cold_c, warm_c in zip(cold, warm):
+        for cold_c, warm_c in zip(cold, warm, strict=True):
             assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
 
     def test_second_run_hits_profile_cache(self, tmp_path, scenario):

@@ -107,7 +107,7 @@ class TestGoldenEngineRun:
         assert run.result.trace == cold_result.trace  # exact, not rounded
         prepared = engine.prepare(scenario.base, seed=SEED)
         assert ids_digest(prepared) == GOLDEN_IDS_DIGEST
-        for cold_c, engine_c in zip(cold_candidates, prepared):
+        for cold_c, engine_c in zip(cold_candidates, prepared, strict=True):
             assert np.array_equal(cold_c.profile_vector, engine_c.profile_vector)
 
 
@@ -126,7 +126,7 @@ class TestGoldenCatalogRun:
         )
         assert warm_catalog.computed_columns == 0
         assert ids_digest(candidates) == GOLDEN_IDS_DIGEST
-        for cold_c, warm_c in zip(cold_candidates, candidates):
+        for cold_c, warm_c in zip(cold_candidates, candidates, strict=True):
             assert np.array_equal(cold_c.profile_vector, warm_c.profile_vector)
 
         result = run_metam(

@@ -70,7 +70,7 @@ class TestMetamEndToEnd:
             MetamConfig(theta=1.0, query_budget=60, epsilon=0.1, seed=0),
         )
         values = [v for _, v in result.trace]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
 
     def test_budget_respected(self, housing):
         scenario, candidates = housing

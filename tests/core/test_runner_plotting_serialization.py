@@ -99,7 +99,7 @@ class TestRunner:
 
     def test_curves_nondecreasing(self, report):
         for values in report.curves.values():
-            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:], strict=False))
 
     def test_winner_at(self, report):
         assert report.winner_at(80) in {"metam", "uniform"}
