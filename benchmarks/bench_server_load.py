@@ -1,0 +1,221 @@
+"""Discovery-as-a-service under multi-tenant load.
+
+Claims, each asserted:
+
+- **fidelity**: every run served over HTTP returns a result
+  byte-identical (canonical wire JSON) to the same request answered by
+  an in-process ``engine.discover()`` on a fresh engine;
+- **responsiveness under load**: with two tenants submitting
+  concurrently against a warm ~200-table catalog, the p99 latency of
+  the status endpoint stays under :data:`P99_BUDGET_SECONDS` — polling
+  must not queue behind search work;
+- **quota isolation**: a tenant that exceeds its admission quota gets
+  HTTP 429 + ``Retry-After`` immediately (never queue starvation), and
+  the well-behaved tenant's runs all complete regardless.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from benchmarks.common import report, scaled
+from repro.api import DiscoveryEngine
+from repro.api.wire import request_from_wire, run_to_wire
+from repro.data import generate_corpus
+from repro.server import DiscoveryService, ServiceConfig, serve
+
+N_TABLES = scaled(200)
+RUNS_PER_TENANT = scaled(4)
+EXTRA_NOISY_SUBMITS = scaled(6)
+QUERY_BUDGET = scaled(15)
+TENANTS = ("acme", "globex")
+#: p99 ceiling for GET /v1/runs/{id} while the engine is busy.
+P99_BUDGET_SECONDS = 0.5
+
+
+def _payload(base_name, score_column, seed):
+    return {
+        "base": base_name,
+        "task": "clustering",
+        "task_options": {"score_column": score_column},
+        "searcher": "uniform",
+        "theta": 0.95,
+        "query_budget": QUERY_BUDGET,
+        "seed": seed,
+        "prepare_seed": 0,  # every run shares one prepared candidate set
+    }
+
+
+def _call(host, port, method, path, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        start = time.perf_counter()
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        elapsed = time.perf_counter() - start
+        data = (
+            json.loads(raw)
+            if response.headers.get("Content-Type", "").startswith(
+                "application/json"
+            )
+            else raw
+        )
+        return response.status, data, dict(response.headers), elapsed
+    finally:
+        conn.close()
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def test_server_load(benchmark):
+    corpus = generate_corpus(N_TABLES, seed=0)
+    lookup = {table.name: table for table in corpus}
+    base = corpus[0]
+    score_column = base.column_names[1]
+
+    def run() -> dict:
+        # --- in-process references: one fresh engine, same requests.
+        reference_engine = DiscoveryEngine(corpus=corpus, max_workers=2)
+        references = {}
+        for tenant_index, tenant in enumerate(TENANTS):
+            for i in range(RUNS_PER_TENANT):
+                seed = tenant_index * 100 + i
+                request = request_from_wire(
+                    _payload(base.name, score_column, seed), lookup
+                )
+                references[(tenant, i)] = run_to_wire(
+                    reference_engine.discover(request)
+                )["result"]
+        reference_engine.shutdown()
+
+        # --- the served side: one warm engine behind the service.
+        def factory(metrics=None):
+            engine = DiscoveryEngine(
+                corpus=corpus, metrics=metrics, max_workers=2
+            )
+            engine.prepare(base, seed=0)  # warm the candidate set
+            return engine
+
+        service = DiscoveryService(
+            {"bench": factory},
+            config=ServiceConfig(
+                tenant_rate=0.0,
+                tenant_burst=float(RUNS_PER_TENANT),
+                max_queue_depth=4 * RUNS_PER_TENANT,
+            ),
+        )
+        server = serve(service)
+        host, port = server.server_address[:2]
+        status_latencies = []
+        latencies_lock = threading.Lock()
+        run_ids = {}
+        rejected = {"count": 0, "retry_after_ok": True}
+
+        def tenant_load(tenant_index, tenant):
+            _, body, _, _ = _call(
+                host, port, "POST", "/v1/sessions", {"tenant": tenant}
+            )
+            sid = body["session"]["session_id"]
+            for i in range(RUNS_PER_TENANT):
+                seed = tenant_index * 100 + i
+                status, body, _, _ = _call(
+                    host, port, "POST", "/v1/runs",
+                    {
+                        "session": sid,
+                        "request": _payload(base.name, score_column, seed),
+                    },
+                )
+                assert status == 202, f"{tenant} run {i} refused: {body}"
+                run_ids[(tenant, i)] = body["run"]["run_id"]
+            if tenant_index == 0:
+                # The noisy tenant blows through its quota: every extra
+                # submission must be an immediate 429 with Retry-After.
+                for i in range(EXTRA_NOISY_SUBMITS):
+                    status, body, headers, _ = _call(
+                        host, port, "POST", "/v1/runs",
+                        {
+                            "session": sid,
+                            "request": _payload(
+                                base.name, score_column, 9000 + i
+                            ),
+                        },
+                    )
+                    assert status == 429, f"expected 429, got {status}"
+                    rejected["count"] += 1
+                    if "Retry-After" not in headers:
+                        rejected["retry_after_ok"] = False
+            # Poll own runs to completion, sampling status latency.
+            pending = {run_ids[(tenant, i)] for i in range(RUNS_PER_TENANT)}
+            while pending:
+                for run_id in sorted(pending):
+                    status, body, _, elapsed = _call(
+                        host, port, "GET", f"/v1/runs/{run_id}"
+                    )
+                    assert status == 200
+                    with latencies_lock:
+                        status_latencies.append(elapsed)
+                    state = body["run"]["state"]
+                    assert state != "failed", body["run"].get("error")
+                    if state in ("completed", "cancelled"):
+                        pending.discard(run_id)
+                time.sleep(0.02)
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=tenant_load, args=(index, tenant))
+            for index, tenant in enumerate(TENANTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+
+        # --- fidelity: served records match in-process records byte
+        # for byte (canonical JSON of the result payload).
+        for key, run_id in run_ids.items():
+            _, body, _, _ = _call(host, port, "GET", f"/v1/runs/{run_id}")
+            assert body["run"]["state"] == "completed"
+            served = json.dumps(body["run"]["record"]["result"], sort_keys=True)
+            expected = json.dumps(references[key], sort_keys=True)
+            assert served == expected, f"result drift for {key}"
+
+        assert rejected["count"] == EXTRA_NOISY_SUBMITS
+        assert rejected["retry_after_ok"], "429 without Retry-After"
+        p50 = _percentile(status_latencies, 0.50)
+        p99 = _percentile(status_latencies, 0.99)
+        assert p99 < P99_BUDGET_SECONDS, (
+            f"status p99 {p99:.3f}s over budget {P99_BUDGET_SECONDS}s"
+        )
+        server.drain(timeout=30)
+        return {
+            "wall": wall,
+            "p50": p50,
+            "p99": p99,
+            "polls": len(status_latencies),
+            "rejected": rejected["count"],
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "server_load",
+        [
+            f"catalog: {N_TABLES} tables, {len(TENANTS)} tenants x "
+            f"{RUNS_PER_TENANT} runs (budget {QUERY_BUDGET}/run)",
+            f"wall clock, both tenants served: {r['wall']:8.3f}s",
+            f"status endpoint: {r['polls']} polls, "
+            f"p50 {r['p50'] * 1000:7.2f}ms, p99 {r['p99'] * 1000:7.2f}ms "
+            f"(budget {P99_BUDGET_SECONDS * 1000:.0f}ms)",
+            f"quota: {r['rejected']} over-quota submissions -> HTTP 429 "
+            "with Retry-After, well-behaved tenant unaffected",
+            "fidelity: every served result byte-identical to in-process "
+            "engine.discover()",
+        ],
+    )

@@ -6,9 +6,22 @@ and answers declarative :class:`DiscoveryRequest`s with fully recorded
 :class:`DiscoveryRun` handles (final result + typed event stream + JSON
 run record).  See the module docstrings of :mod:`repro.api.engine`,
 :mod:`repro.api.request`, and :mod:`repro.api.registries` for usage.
+
+Everything that crosses a process boundary — requests, run records,
+events, errors — has its versioned JSON schema in :mod:`repro.api.wire`,
+and every user-facing failure is one of the typed
+:class:`~repro.api.errors.ReproError` kinds.
 """
 
 from repro.api.engine import DiscoveryEngine, EngineStateError
+from repro.api.errors import (
+    Cancelled,
+    Internal,
+    InvalidRequest,
+    NotFound,
+    Overloaded,
+    ReproError,
+)
 from repro.api.futures import DiscoveryFuture
 from repro.api.events import (
     AugmentationAccepted,
@@ -30,8 +43,16 @@ from repro.api.registries import (
 )
 from repro.api.request import CandidateSpec, DiscoveryRequest
 from repro.api.run import DiscoveryRun
+from repro.api.wire import SCHEMA_VERSION
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "ReproError",
+    "InvalidRequest",
+    "NotFound",
+    "Overloaded",
+    "Cancelled",
+    "Internal",
     "DiscoveryEngine",
     "EngineStateError",
     "DiscoveryFuture",

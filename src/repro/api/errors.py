@@ -1,0 +1,128 @@
+"""The typed :class:`ReproError` taxonomy: one failure vocabulary.
+
+Every user-facing failure in the serving stack is (or is wrapped into)
+one of five :class:`ReproError` kinds, and each kind carries its wire
+``code``, its HTTP status, and its CLI exit code — so the HTTP layer,
+the CLI, and tests all map failures the same way instead of each
+inventing its own convention:
+
+==================  ==============  ===========  =========
+class               wire code       HTTP status  CLI exit
+==================  ==============  ===========  =========
+``InvalidRequest``  invalid-request 400          2
+``NotFound``        not-found       404          1
+``Overloaded``      overloaded      429          75
+``Cancelled``       cancelled       499          130
+``Internal``        internal        500          1
+==================  ==============  ===========  =========
+
+The CLI exit codes deliberately preserve the pre-taxonomy behavior:
+usage errors always exited 2, missing catalogs and runtime failures 1,
+and a Ctrl-C'd comparison 130 (128 + SIGINT).  ``Overloaded`` adopts
+BSD's ``EX_TEMPFAIL`` (75): the request was well-formed and may succeed
+if retried — :attr:`Overloaded.retry_after` says when (the HTTP layer
+turns it into a ``Retry-After`` header).  ``Cancelled`` maps to 499,
+nginx's "client closed request": the caller abandoned the run, the
+server did nothing wrong.
+
+:func:`repro.api.wire.error_to_wire` serializes any exception into the
+versioned error envelope (foreign exceptions are wrapped as
+``Internal``), and :func:`repro.api.wire.error_from_wire` rebuilds the
+typed error client-side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base of the typed failure taxonomy.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description (the wire ``message`` field).
+    details:
+        Optional JSON-safe dict of machine-readable context (the field
+        that failed validation, the budget that was exceeded, ...).
+    """
+
+    #: Stable wire identifier of this error kind (never the class name:
+    #: renaming a class must not change the protocol).
+    code = "internal"
+    #: HTTP response status the server maps this error to.
+    http_status = 500
+    #: Process exit code the CLI maps this error to.
+    exit_code = 1
+
+    def __init__(self, message: str, *, details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.message = str(message)
+        self.details = dict(details) if details else {}
+
+
+class InvalidRequest(ReproError):
+    """The request itself is malformed: unparseable payload, unknown
+    field, bad value, unknown searcher/task/base-table name."""
+
+    code = "invalid-request"
+    http_status = 400
+    exit_code = 2
+
+
+class NotFound(ReproError):
+    """The referenced resource does not exist: unknown run id, unknown
+    session, a catalog directory with nothing in it."""
+
+    code = "not-found"
+    http_status = 404
+    exit_code = 1
+
+
+class Overloaded(ReproError):
+    """Admission control rejected the request: queue budget exhausted,
+    tenant quota empty, or the server is draining.
+
+    ``retry_after`` (seconds, >= 0) estimates when a retry could be
+    admitted; the HTTP layer sends it as the ``Retry-After`` header.
+    """
+
+    code = "overloaded"
+    http_status = 429
+    exit_code = 75  # EX_TEMPFAIL: transient, retry later
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        details: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message, details=details)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class Cancelled(ReproError):
+    """The caller cancelled the work before it finished (Ctrl-C on the
+    CLI, ``DELETE /v1/runs/{id}`` over HTTP)."""
+
+    code = "cancelled"
+    http_status = 499  # nginx convention: client closed request
+    exit_code = 130  # 128 + SIGINT, what an interrupted process exits with
+
+
+class Internal(ReproError):
+    """Anything that is the server's fault: an unexpected exception, a
+    corrupt store, a failing subsystem."""
+
+    code = "internal"
+    http_status = 500
+    exit_code = 1
+
+
+#: Wire ``code`` -> error class (the inverse of each class's ``code``).
+ERROR_CODES = {
+    cls.code: cls
+    for cls in (InvalidRequest, NotFound, Overloaded, Cancelled, Internal)
+}

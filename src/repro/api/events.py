@@ -11,7 +11,8 @@ never has to scrape logs to know what a search did.
 from __future__ import annotations
 
 import threading
-from dataclasses import asdict, dataclass
+import warnings
+from dataclasses import dataclass
 
 
 class RunCancelled(RuntimeError):
@@ -52,8 +53,11 @@ class RunEvent:
     kind = "event"
 
     def to_record(self) -> dict:
-        """JSON-serializable form: ``kind`` plus the event's fields."""
-        return {"kind": self.kind, **asdict(self)}
+        """JSON-serializable form: ``kind`` plus the event's fields
+        (the wire schema; see :func:`repro.api.wire.event_to_wire`)."""
+        from repro.api import wire
+
+        return wire.event_to_wire(self)
 
 
 @dataclass(frozen=True)
@@ -141,19 +145,14 @@ EVENT_TYPES = {
 
 
 def event_from_record(record: dict) -> RunEvent:
-    """Rebuild one event from its :meth:`RunEvent.to_record` form.
+    """Deprecated alias of :func:`repro.api.wire.event_from_wire`
+    (byte-identical reconstruction; same ``ValueError`` contract)."""
+    warnings.warn(
+        "event_from_record() is deprecated; use "
+        "repro.api.wire.event_from_wire()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import wire
 
-    Raises ``ValueError`` on an unknown kind or mismatched fields — a
-    persisted run record from a future (or corrupt) store must fail the
-    reconstruction loudly, never half-build an event."""
-    if not isinstance(record, dict):
-        raise ValueError(f"event record must be a dict, got {type(record).__name__}")
-    kind = record.get("kind")
-    cls = EVENT_TYPES.get(kind)
-    if cls is None:
-        raise ValueError(f"unknown event kind {kind!r}")
-    fields = {key: value for key, value in record.items() if key != "kind"}
-    try:
-        return cls(**fields)
-    except TypeError as error:
-        raise ValueError(f"bad {kind!r} event record: {error}") from error
+    return wire.event_from_wire(record)

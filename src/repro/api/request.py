@@ -5,13 +5,16 @@ take as loose function arguments — the input dataset, the task, the
 searcher, the candidate-generation knobs — into one declarative object
 the :class:`~repro.api.engine.DiscoveryEngine` can serve, record, and
 replay.  Requests are cheap to construct and JSON-describable
-(:meth:`DiscoveryRequest.to_record`), so a serving layer can log every
-information need it answered.
+(:meth:`DiscoveryRequest.to_wire`, schema in :mod:`repro.api.wire`), so
+a serving layer can log every information need it answered — and
+:meth:`DiscoveryRequest.from_wire` rebuilds one from a wire payload
+against a served corpus.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from repro.core.config import MetamConfig
@@ -106,29 +109,35 @@ class DiscoveryRequest:
             return self.task
         return getattr(self.task, "name", type(self.task).__name__)
 
-    def to_record(self) -> dict:
-        """JSON-serializable description of this request.
+    def to_wire(self) -> dict:
+        """JSON-serializable description of this request (the versioned
+        wire schema; see :func:`repro.api.wire.request_to_wire`).
 
         Tables and task objects are described, not embedded — a record
         identifies what was asked, it does not re-ship the data.
         """
-        return {
-            "base_table": self.base.name,
-            "base_rows": self.base.num_rows,
-            "base_columns": self.base.num_columns,
-            "task": self.task_name(),
-            "task_options": _jsonable(self.task_options),
-            "searcher": self.searcher,
-            "theta": self.theta,
-            "query_budget": self.query_budget,
-            "seed": self.seed,
-            "prepare_seed": self.prepare_seed,
-            "spec": self.spec.to_record(),
-            "config": asdict(self.config) if self.config is not None else None,
-            "options": _jsonable(self.options),
-            "candidates_supplied": self.candidates is not None,
-            "label": self.label,
-        }
+        from repro.api import wire
+
+        return wire.request_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, payload: dict, corpus: dict) -> "DiscoveryRequest":
+        """Build a request from a wire payload served over ``corpus``
+        (see :func:`repro.api.wire.request_from_wire`; raises
+        :class:`~repro.api.errors.InvalidRequest` on bad payloads)."""
+        from repro.api import wire
+
+        return wire.request_from_wire(payload, corpus)
+
+    def to_record(self) -> dict:
+        """Deprecated alias of :meth:`to_wire` (byte-identical)."""
+        warnings.warn(
+            "DiscoveryRequest.to_record() is deprecated; use "
+            "DiscoveryRequest.to_wire() (repro.api.wire schema)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.to_wire()
 
     def cache_descriptor(self) -> str | None:
         """Canonical description of everything (besides engine state)
@@ -170,9 +179,10 @@ class DiscoveryRequest:
 def _canonical(value):
     """Strictly canonical form of a user-supplied option value.
 
-    Unlike :func:`_jsonable` there is no ``repr`` fallback — an object
-    without a stable JSON identity raises ``TypeError``, which marks the
-    whole request uncacheable rather than risking a false cache hit.
+    Unlike :func:`repro.api.wire.jsonable` there is no ``repr`` fallback
+    — an object without a stable JSON identity raises ``TypeError``,
+    which marks the whole request uncacheable rather than risking a
+    false cache hit.
     """
     if isinstance(value, dict):
         return {str(k): _canonical(v) for k, v in sorted(value.items())}
@@ -181,16 +191,3 @@ def _canonical(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     raise TypeError(f"no canonical form for {type(value).__name__}")
-
-
-def _jsonable(value):
-    """Best-effort JSON coercion for user-supplied option dicts."""
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if hasattr(value, "tolist"):
-        return value.tolist()
-    return repr(value)

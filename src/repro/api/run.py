@@ -10,10 +10,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.api.events import event_from_record
 from repro.api.request import DiscoveryRequest
 from repro.core.result import SearchResult
-from repro.core.serialization import result_from_dict, result_to_dict
 
 
 @dataclass
@@ -98,25 +96,11 @@ class DiscoveryRun:
         return f"run {self.run_id} [{self.status}] no result"
 
     def to_record(self) -> dict:
-        """JSON-serializable record of the full run."""
-        return {
-            "run_id": self.run_id,
-            "status": self.status,
-            "request": self.request.to_record(),
-            "result": (
-                result_to_dict(self.result) if self.result is not None else None
-            ),
-            "n_candidates": self.n_candidates,
-            "candidate_source": self.candidate_source,
-            "cached": self.cached,
-            "caches": dict(self.cache_info),
-            "timings": {
-                "prepare_seconds": self.prepare_seconds,
-                "search_seconds": self.search_seconds,
-            },
-            "events": [event.to_record() for event in self.events],
-            **({"trace": self.trace} if self.trace is not None else {}),
-        }
+        """JSON-serializable record of the full run (the wire schema;
+        see :func:`repro.api.wire.run_to_wire`)."""
+        from repro.api import wire
+
+        return wire.run_to_wire(self)
 
     def save(self, path: str) -> None:
         """Write the run record as JSON."""
@@ -136,21 +120,6 @@ class DiscoveryRun:
         Raises ``ValueError``/``KeyError`` on malformed records; callers
         treating persisted runs as a cache catch and re-run.
         """
-        result = record.get("result")
-        return cls(
-            run_id=run_id,
-            request=request,
-            status=str(record["status"]),
-            result=result_from_dict(result) if result is not None else None,
-            events=[event_from_record(e) for e in record.get("events", [])],
-            n_candidates=int(record.get("n_candidates", 0)),
-            candidate_source=str(record.get("candidate_source", "prepared")),
-            prepare_seconds=float(
-                record.get("timings", {}).get("prepare_seconds", 0.0)
-            ),
-            search_seconds=float(
-                record.get("timings", {}).get("search_seconds", 0.0)
-            ),
-            cache_info=dict(record.get("caches") or {}),
-            trace=record.get("trace"),
-        )
+        from repro.api import wire
+
+        return wire.run_from_wire(record, request, run_id)

@@ -19,6 +19,17 @@ Commands
     --metrics-out/--trace-out`` capture the same telemetry from a real
     comparison; the top-level ``--log-level``/``--log-json`` flags
     control the structured log stream on stderr.
+``serve``
+    Serve discovery over HTTP (see :mod:`repro.server`): session
+    lifecycle, run submit/status/cancel, typed event streams as SSE,
+    and Prometheus ``/metrics`` with per-tenant labels — against a
+    built-in scenario (``--scenario``, its pre-configured task
+    registered as ``scenario-task``) or a saved catalog directory
+    (``--catalog``).  Admission control is on by default: per-tenant
+    token buckets (``--tenant-rate``/``--tenant-burst``) and a queue
+    budget (``--max-queue-depth``) answer overload with HTTP 429 +
+    ``Retry-After``.  Ctrl-C drains gracefully (exit 1 when the drain
+    times out).
 ``corpus-stats``
     Generate a synthetic corpus and print its Table-I characteristics —
     or, with ``--catalog DIR``, serve the report straight from a saved
@@ -54,8 +65,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
+import threading
 
 from repro.api import (
     CancellationToken,
@@ -200,6 +213,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the JSON metrics snapshot (quantile estimates "
         "included) instead of Prometheus text",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve discovery over HTTP: sessions, run submit/status/"
+        "cancel, SSE progress, /metrics (see repro.server)",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="serve this built-in scenario's corpus (default: "
+        "clustering when --catalog is not given); its pre-configured "
+        "task is registered as 'scenario-task'",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help="serve a saved catalog directory instead (warm artifacts; "
+        "the corpus is regenerated from the catalog's recorded "
+        "parameters)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 = pick a free ephemeral port; the bound "
+        "address is printed on stdout)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="engine worker pool size (= concurrent runs per catalog)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=32,
+        help="undispatched runs held before submissions get 429",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=50.0,
+        help="per-tenant token-bucket refill, requests/second "
+        "(<= 0 disables refill: each tenant gets --tenant-burst "
+        "requests ever)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=100.0,
+        help="per-tenant token-bucket capacity",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a shutdown waits for executing runs to finish",
     )
 
     stats = sub.add_parser("corpus-stats", help="Table-I style corpus stats")
@@ -551,7 +628,6 @@ def _cmd_stats(args) -> int:
     ``discover()`` replays from the result cache — so the exposition
     covers every subsystem with real, nonzero samples.
     """
-    import os
     import tempfile
 
     from repro.api.request import DiscoveryRequest
@@ -598,6 +674,114 @@ def _cmd_stats(args) -> int:
     else:
         print(engine.metrics_prometheus())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.api.errors import InvalidRequest, NotFound
+    from repro.server import DiscoveryService, ServiceConfig
+    from repro.server.http import serve as serve_http
+
+    if args.scenario is not None and args.catalog is not None:
+        raise InvalidRequest("--scenario and --catalog are mutually exclusive")
+    if args.workers < 1:
+        raise InvalidRequest(f"--workers must be >= 1, got {args.workers}")
+
+    if args.catalog is not None:
+        catalog_dir = args.catalog
+        name = os.path.basename(os.path.normpath(catalog_dir)) or "catalog"
+
+        def factory(metrics=None):
+            from repro.catalog import Catalog, CatalogStore
+            from repro.data import generate_corpus
+
+            store = CatalogStore(catalog_dir)
+            if not store.exists():
+                raise NotFound(f"no catalog at {catalog_dir}")
+            params = _load_corpus_args(catalog_dir)
+            if not params:
+                raise NotFound(
+                    f"catalog at {catalog_dir!r} has no recorded corpus "
+                    "parameters (was it built outside the CLI?); serve a "
+                    "--scenario instead"
+                )
+            corpus = generate_corpus(
+                params["tables"], style=params["style"], seed=params["seed"]
+            )
+            return DiscoveryEngine(
+                corpus=corpus,
+                catalog=Catalog.load(store),
+                metrics=metrics,
+                max_workers=args.workers,
+                result_cache_bytes=_RESULT_CACHE_BYTES,
+            )
+
+    else:
+        scenario_name = args.scenario or "clustering"
+        name = scenario_name
+        # Built eagerly: the scenario's base table must be registered as
+        # a request base (it is the run's input, not a join candidate,
+        # so it is not part of the served corpus).
+        scenario = SCENARIOS[scenario_name](seed=args.seed)
+        bases = {name: {scenario.base.name: scenario.base}}
+
+        def factory(metrics=None):
+            engine = DiscoveryEngine(
+                corpus=scenario.corpus,
+                metrics=metrics,
+                max_workers=args.workers,
+                result_cache_bytes=_RESULT_CACHE_BYTES,
+            )
+            # Wire requests name tasks by registry entry; the scenario's
+            # pre-configured task object goes in under a stable name.
+            engine.tasks.register(
+                "scenario-task", lambda **_options: scenario.task
+            )
+            return engine
+
+    service = DiscoveryService(
+        {name: factory},
+        bases=bases if args.catalog is None else None,
+        config=ServiceConfig(
+            max_queue_depth=args.max_queue_depth,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            drain_timeout=args.drain_timeout,
+        ),
+    )
+    server = serve_http(service, host=args.host, port=args.port)
+    # The bound address goes on stdout (port 0 picks a free one): the
+    # line scripts and the CI smoke job parse for readiness.
+    print(f"serving catalog {name!r} on {server.url}", flush=True)
+    if args.catalog is None:
+        print(
+            f"scenario base table: {scenario.base.name} "
+            "(task name: scenario-task)",
+            flush=True,
+        )
+    print("Ctrl-C drains and exits", flush=True)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is not None:
+            try:
+                previous[signum] = signal.signal(signum, _request_stop)
+            except ValueError:
+                pass  # non-main thread: caller drives server.drain()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    clean = server.drain(timeout=args.drain_timeout)
+    if not clean:
+        _warn(f"drain timed out after {args.drain_timeout}s")
+    print("drained" if clean else "drain timed out", flush=True)
+    return 0 if clean else 1
 
 
 def _cmd_corpus_stats(args) -> int:
@@ -1043,18 +1227,29 @@ def main(argv=None) -> int:
     configure_logging(
         level=args.log_level, fmt="json" if args.log_json else "text"
     )
-    if args.command == "list-scenarios":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    if args.command == "corpus-stats":
-        return _cmd_corpus_stats(args)
-    if args.command == "catalog":
-        return _cmd_catalog(args)
-    if args.command == "lint":
-        return _cmd_lint(args)
+    from repro.api.errors import ReproError
+
+    try:
+        if args.command == "list-scenarios":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "corpus-stats":
+            return _cmd_corpus_stats(args)
+        if args.command == "catalog":
+            return _cmd_catalog(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
+    except ReproError as error:
+        # One taxonomy, one mapping: the same typed errors the HTTP
+        # layer turns into statuses exit here with their pinned codes
+        # (invalid-request=2, overloaded=75, cancelled=130, else 1).
+        _error(error.message)
+        return error.exit_code
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

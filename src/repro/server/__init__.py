@@ -1,0 +1,25 @@
+"""Discovery-as-a-service: the multi-tenant serving layer.
+
+:class:`DiscoveryService` (:mod:`repro.server.service`) is the
+transport-agnostic core — sessions, admission control, per-tenant
+quotas and fair scheduling, run lifecycle, event fan-in, graceful
+drain — over one :class:`~repro.api.engine.DiscoveryEngine` per served
+catalog.  :func:`serve` (:mod:`repro.server.http`) puts the stdlib
+HTTP/JSON + SSE front-end in front of it; ``repro serve`` is the CLI
+entry point.  All payloads crossing the wire use the versioned schemas
+of :mod:`repro.api.wire` and all failures the typed
+:class:`~repro.api.errors.ReproError` taxonomy.
+"""
+
+from repro.server.http import DiscoveryHTTPServer, serve
+from repro.server.quota import TenantQuotas, TokenBucket
+from repro.server.service import DiscoveryService, ServiceConfig
+
+__all__ = [
+    "DiscoveryService",
+    "ServiceConfig",
+    "DiscoveryHTTPServer",
+    "serve",
+    "TokenBucket",
+    "TenantQuotas",
+]

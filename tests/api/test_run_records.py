@@ -7,10 +7,10 @@ from repro.api.events import (
     CandidatesPrepared,
     QueryIssued,
     RunStarted,
-    event_from_record,
 )
 from repro.api.run import DiscoveryRun
 from repro.api.request import DiscoveryRequest
+from repro.api.wire import event_from_wire
 from repro.core.result import SearchResult
 from repro.dataframe.table import Table
 
@@ -26,7 +26,7 @@ def sample_events():
 class TestEventRoundTrip:
     def test_every_kind_round_trips(self):
         for event in sample_events():
-            assert event_from_record(event.to_record()) == event
+            assert event_from_wire(event.to_record()) == event
 
     def test_kind_registry_is_complete(self):
         assert set(EVENT_TYPES) == {
@@ -40,15 +40,15 @@ class TestEventRoundTrip:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown event kind"):
-            event_from_record({"kind": "from-the-future"})
+            event_from_wire({"kind": "from-the-future"})
 
     def test_mismatched_fields_rejected(self):
         with pytest.raises(ValueError, match="bad 'query-issued'"):
-            event_from_record({"kind": "query-issued", "bogus": 1})
+            event_from_wire({"kind": "query-issued", "bogus": 1})
 
     def test_non_dict_rejected(self):
         with pytest.raises(ValueError, match="must be a dict"):
-            event_from_record(["kind", "run-started"])
+            event_from_wire(["kind", "run-started"])
 
 
 def sample_run(request):

@@ -1,0 +1,176 @@
+"""``repro serve`` end to end: a real subprocess, a real port, the full
+submit → status → events → cancel → metrics round-trip, and a SIGINT
+drain.  This is the same loop the CI server-smoke job runs."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+SERVE_ARGS = [
+    sys.executable,
+    "-m",
+    "repro",
+    "serve",
+    "--scenario",
+    "clustering",
+    "--seed",
+    "0",
+    "--port",
+    "0",
+    "--workers",
+    "2",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+@pytest.fixture(scope="module")
+def server():
+    process = subprocess.Popen(
+        SERVE_ARGS,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+    url = None
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            if " on http://" in line:
+                url = line.rsplit(" on ", 1)[1].strip()
+                break
+        if url is None:
+            process.kill()
+            _, err = process.communicate(timeout=10)
+            pytest.fail(f"serve never announced its URL; stderr: {err}")
+        host, port = url.removeprefix("http://").rsplit(":", 1)
+        yield process, host, int(port)
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+def call(host, port, method, path, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        data = (
+            json.loads(raw)
+            if response.headers.get("Content-Type", "").startswith(
+                "application/json"
+            )
+            else raw
+        )
+        return response.status, data
+    finally:
+        conn.close()
+
+
+def wait_terminal(host, port, run_id, timeout=120):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = call(host, port, "GET", f"/v1/runs/{run_id}")
+        assert status == 200
+        if body["run"]["state"] in ("completed", "cancelled", "failed"):
+            return body["run"]
+        time.sleep(0.2)
+    pytest.fail(f"run {run_id} never reached a terminal state")
+
+
+REQUEST = {
+    "base": "raw_materials",
+    "task": "scenario-task",
+    "searcher": "metam",
+    "theta": 0.6,
+    "query_budget": 25,
+    "seed": 0,
+}
+
+
+class TestServeRoundTrip:
+    def test_full_round_trip(self, server):
+        _, host, port = server
+        status, body = call(host, port, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+        status, body = call(
+            host, port, "POST", "/v1/sessions", {"tenant": "smoke"}
+        )
+        assert status == 201
+        sid = body["session"]["session_id"]
+
+        status, body = call(
+            host, port, "POST", "/v1/runs",
+            {"session": sid, "request": REQUEST},
+        )
+        assert status == 202
+        run = wait_terminal(host, port, body["run"]["run_id"])
+        assert run["state"] == "completed"
+        assert run["record"]["result"]["utility"] > 0
+
+        # The finished stream replays in order and terminates.
+        status, raw = call(
+            host, port, "GET", f"/v1/runs/{run['run_id']}/events"
+        )
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert text.startswith("event: run-started\n")
+        assert "event: run-completed\n" in text
+
+        # Cancel a second run mid-flight (cooperative, may also finish).
+        status, body = call(
+            host, port, "POST", "/v1/runs",
+            {"session": sid, "request": dict(REQUEST, seed=1)},
+        )
+        assert status == 202
+        status, _ = call(
+            host, port, "DELETE", f"/v1/runs/{body['run']['run_id']}"
+        )
+        assert status == 200
+        assert wait_terminal(host, port, body["run"]["run_id"])["state"] in (
+            "cancelled",
+            "completed",
+        )
+
+        status, raw = call(host, port, "GET", "/metrics")
+        assert status == 200
+        exposition = raw.decode("utf-8")
+        assert 'tenant="smoke"' in exposition
+        assert "repro_server_runs_total" in exposition
+        assert "repro_engine_runs_total" in exposition
+
+    def test_errors_speak_the_taxonomy(self, server):
+        _, host, port = server
+        status, body = call(host, port, "GET", "/v1/runs/run-424242")
+        assert status == 404
+        assert body["error"]["code"] == "not-found"
+
+    def test_sigint_drains_cleanly(self, server):
+        process, host, port = server
+        process.send_signal(signal.SIGINT)
+        out, err = process.communicate(timeout=60)
+        assert process.returncode == 0, f"unclean drain: {err}"

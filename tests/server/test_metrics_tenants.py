@@ -1,0 +1,72 @@
+"""Satellite: per-tenant metric labels must respect the registry's
+cardinality guardrail — tenant churn collapses into ``_other_`` instead
+of growing the exposition without bound."""
+
+import pytest
+
+from repro.obs.metrics import OVERFLOW_LABEL, MetricsRegistry
+
+
+def _series(exposition, family):
+    return [
+        line
+        for line in exposition.splitlines()
+        if line.startswith(family + "{")
+    ]
+
+
+class TestBoundedTenantLabels:
+    def test_tenant_churn_collapses_into_other(self, make_harness):
+        registry = MetricsRegistry(max_series_per_metric=4)
+        h = make_harness(metrics=registry)
+        run_ids = []
+        for index in range(12):  # 12 tenants against a 4-series budget
+            sid = h.session(f"tenant-{index:02d}")
+            run_ids.append(h.service.submit(sid, h.payload())["run_id"])
+        for run_id in run_ids:
+            assert h.wait_terminal(run_id)["state"] == "completed"
+
+        exposition = h.service.metrics_prometheus()
+        for family in (
+            "repro_server_requests_total",
+            "repro_server_runs_total",
+        ):
+            series = _series(exposition, family)
+            assert series, f"{family} missing from exposition"
+            # Bounded at the budget plus the single overflow series.
+            assert len(series) <= 4 + 1
+            overflow = [s for s in series if OVERFLOW_LABEL in s]
+            assert overflow, (
+                f"{family} must collapse churned tenants into "
+                f"{OVERFLOW_LABEL!r}, got: {series}"
+            )
+
+    def test_overflow_series_accumulates(self, make_harness):
+        registry = MetricsRegistry(max_series_per_metric=2)
+        h = make_harness(metrics=registry)
+        for index in range(6):
+            sid = h.session(f"churn-{index}")
+            h.wait_terminal(h.service.submit(sid, h.payload())["run_id"])
+        exposition = h.service.metrics_prometheus()
+        overflow = [
+            line
+            for line in _series(exposition, "repro_server_requests_total")
+            if OVERFLOW_LABEL in line
+        ]
+        assert len(overflow) == 1
+        # All but the first admitted tenant landed in the overflow
+        # bucket: 2-series budget, 6 tenants, one series each would have
+        # been 6 — the collapsed series carries the rest.
+        assert float(overflow[0].rsplit(" ", 1)[1]) >= 4.0
+
+    def test_service_keeps_working_past_the_guardrail(self, make_harness):
+        """Overflow is a telemetry concession, never a serving failure."""
+        registry = MetricsRegistry(max_series_per_metric=1)
+        h = make_harness(metrics=registry)
+        for index in range(3):
+            sid = h.session(f"t{index}")
+            status = h.wait_terminal(
+                h.service.submit(sid, h.payload())["run_id"]
+            )
+            assert status["state"] == "completed"
+            assert status["record"]["result"]["utility"] == pytest.approx(0.9)
