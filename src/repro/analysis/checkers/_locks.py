@@ -128,6 +128,13 @@ def blocking_reason(node: ast.Call) -> Optional[str]:
         return "time.sleep()"
     if root in {"subprocess", "shutil", "socket"}:
         return f"{root}.{name}()"
+    if root == "mmap":
+        return f"mmap.{name}() (page-mapping syscall)"
+    if name in MMAP_LIFECYCLE_METHODS:
+        # Mapping an artifact under an in-process lock is doubly wrong:
+        # the map syscall blocks, and the page faults it sets up are
+        # deferred disk I/O that outlives the critical section.
+        return f"{name}() (maps artifact pages; faults are deferred I/O)"
     if root == "tempfile" and name in {
         "mkstemp",
         "mkdtemp",
@@ -178,9 +185,15 @@ OS_IO_FUNCS = {
     "symlink",
 }
 
+#: Calls that create or read through a memory mapping.  Flagged under
+#: in-process locks regardless of receiver: ``open_mmap`` is the
+#: backend seam, ``_read_artifact`` is the store helper that calls it.
+MMAP_LIFECYCLE_METHODS = {"open_mmap", "_read_artifact"}
+
 #: StoreBackend methods that perform I/O.
 BACKEND_IO_METHODS = {
     "open_read",
+    "open_mmap",
     "read_bytes",
     "write_bytes",
     "append_bytes",

@@ -426,23 +426,32 @@ class DiscoveryEngine:
         corpus=None,
         create: bool = True,
         backend=None,
+        object_codec: int = None,
         **config,
     ) -> "DiscoveryEngine":
         """Engine backed by the persistent catalog at ``catalog_dir``.
 
         ``create=True`` (default) creates the catalog when none exists
-        (``config`` applies only then); ``create=False`` requires a saved
-        catalog and raises :class:`~repro.catalog.CatalogStoreError`
-        otherwise.  ``corpus`` is attached when given.  ``backend``
-        selects the store layout (``"local"``/``"segments"``) for fresh
-        roots; an existing root auto-detects its layout regardless.
+        (``config`` applies only then — including ``hash_version=2`` for
+        the blake2-free vectorized hash family); ``create=False``
+        requires a saved catalog and raises
+        :class:`~repro.catalog.CatalogStoreError` otherwise.  ``corpus``
+        is attached when given.  ``backend`` selects the store layout
+        (``"local"``/``"segments"``) for fresh roots; an existing root
+        auto-detects its layout regardless.  ``object_codec`` selects
+        the artifact codec new writes use (``3`` = the mmap-friendly
+        fixed layout; default keeps the deflated binary format).
+        Existing artifacts stay readable under any choice — the store
+        reads through every registered codec.
         """
         from repro.catalog.store import CatalogStore
 
         root = (
             catalog_dir
             if isinstance(catalog_dir, CatalogStore)
-            else CatalogStore(catalog_dir, backend=backend)
+            else CatalogStore(
+                catalog_dir, backend=backend, object_codec=object_codec
+            )
         )
         if create:
             catalog = Catalog.open(root, **config)

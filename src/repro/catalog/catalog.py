@@ -74,6 +74,7 @@ class Catalog:
         min_containment: float = 0.3,
         max_distinct: int = 5000,
         seed: int = 0,
+        hash_version: int = 1,
     ):
         self._index = DiscoveryIndex(
             num_perm=num_perm,
@@ -81,6 +82,7 @@ class Catalog:
             min_containment=min_containment,
             max_distinct=max_distinct,
             seed=seed,
+            hash_version=hash_version,
         )
         self.store = store
         # Objects on disk are addressed by (artifact config, table content)
@@ -88,13 +90,17 @@ class Catalog:
         # can never be reused by mistake — even when a crash left objects
         # behind without a manifest to guard them.  bands/min_containment
         # only affect querying, not the stored artifacts.
-        self._artifact_config = config_fingerprint(
-            {
-                "num_perm": num_perm,
-                "seed": seed,
-                "max_distinct": max_distinct,
-            }
-        )
+        artifact_params = {
+            "num_perm": num_perm,
+            "seed": seed,
+            "max_distinct": max_distinct,
+        }
+        # hash_version changes every signature, so it addresses artifacts
+        # too — but only when non-default, keeping every existing v1
+        # store's object fingerprints (and golden bytes) unchanged.
+        if hash_version != 1:
+            artifact_params["hash_version"] = hash_version
+        self._artifact_config = config_fingerprint(artifact_params)
         self._fingerprints = {}
         # Snapshot recorded by the last save(); lets refresh() distinguish
         # "new table" from "known table being re-hydrated in this process".

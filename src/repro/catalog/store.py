@@ -220,6 +220,9 @@ class Codec:
 
     version: int
     extension: str
+    #: Whether readers should hand this codec a memory-mapped buffer
+    #: (``StoreBackend.open_mmap``) instead of an in-memory blob copy.
+    mmap = False
 
     def encode(self, meta: dict, entries: dict) -> bytes:
         raise NotImplementedError
@@ -231,6 +234,11 @@ class Codec:
     def decode_meta(self, blob: bytes) -> dict:
         """Just the ``meta`` dict (cheap for codecs with a meta header)."""
         return self.decode(blob)[0]
+
+    def check(self, blob) -> None:
+        """Deep integrity check (:meth:`CatalogStore.verify`); codecs
+        with checksums validate them here, on top of a full decode."""
+        self.decode(blob)
 
 
 def _derived_normalized(distinct) -> frozenset:
@@ -500,8 +508,224 @@ class BinaryCodec(Codec):
         return meta, entries
 
 
+class MmapCodec(Codec):
+    """Fixed-layout uncompressed object format built for memory mapping
+    (codec version 3, opt-in via ``CatalogStore(object_codec=3)``).
+
+    Little-endian, every multi-byte field naturally aligned::
+
+        header (16 bytes):
+            magic b"RCM3" | u16 codec version | u16 reserved (0)
+            u32 meta length | u32 column count
+        meta JSON (utf-8), zero-padded to 8 bytes
+        directory: column count * u64 — absolute offset of each column
+            block, in sorted column-name order
+        column blocks, each starting 8-aligned:
+            u32 name length | u32 num_perm
+            u32 flags (bit 0: explicit normalized block) | u32 reserved
+            num_perm * u64 signature   (8-aligned by construction)
+            name utf-8
+            string-set block (distinct)
+            [string-set block (normalized), only if flag bit 0]
+            zero padding to 8 bytes
+        footer (8 bytes): u32 crc32 of everything before the footer
+            | magic b"3MCR"
+
+        string-set block: u32 count | u32 blob length
+                          | count * u32 value lengths | utf-8 value blob
+
+    Signatures decode as ``np.frombuffer`` views straight into the
+    buffer — when the buffer is a :meth:`StoreBackend.open_mmap` view,
+    no byte of signature data is ever copied, and concurrent processes
+    reading the same artifact share one set of physical pages.  The
+    arrays hold a reference to the buffer, so the mapping lives exactly
+    as long as something still looks at it.
+
+    Decoding validates structure (magics, bounds, offsets monotone and
+    aligned) but not the checksum — that would force a full read and
+    defeat lazy paging.  :meth:`check` (the deep-``verify()`` hook)
+    additionally recomputes the crc32, so bit rot that structural checks
+    cannot see is still caught by an integrity pass.  Encoding is
+    canonical (sorted columns, sorted meta keys, zero padding): equal
+    objects encode byte-identically.
+    """
+
+    version = 3
+    extension = ".mmap"
+    mmap = True
+
+    MAGIC = b"RCM3"
+    FOOTER_MAGIC = b"3MCR"
+    _EXPLICIT_NORMALIZED = 1
+
+    @staticmethod
+    def _pad8(out: bytearray) -> None:
+        out += b"\x00" * (-len(out) % 8)
+
+    def encode(self, meta: dict, entries: dict) -> bytes:
+        columns = sorted(entries)
+        meta_blob = json.dumps(dict(meta), sort_keys=True).encode("utf-8")
+        out = bytearray()
+        out += self.MAGIC
+        out += struct.pack("<HH", self.version, 0)
+        out += struct.pack("<II", len(meta_blob), len(columns))
+        out += meta_blob
+        self._pad8(out)
+        directory_at = len(out)
+        out += b"\x00" * (8 * len(columns))
+        offsets = []
+        for column in columns:
+            entry = entries[column]
+            self._pad8(out)
+            offsets.append(len(out))
+            name = column.encode("utf-8")
+            signature = np.ascontiguousarray(entry.signature, dtype="<u8")
+            derived = entry.normalized == _derived_normalized(entry.distinct)
+            out += struct.pack(
+                "<IIII",
+                len(name),
+                signature.size,
+                0 if derived else self._EXPLICIT_NORMALIZED,
+                0,
+            )
+            out += signature.tobytes()
+            out += name
+            out += BinaryCodec._pack_strings(entry.distinct)
+            if not derived:
+                out += BinaryCodec._pack_strings(entry.normalized)
+        self._pad8(out)
+        out[directory_at : directory_at + 8 * len(columns)] = np.array(
+            offsets, dtype="<u8"
+        ).tobytes()
+        out += struct.pack("<I", zlib.crc32(bytes(out)))
+        out += self.FOOTER_MAGIC
+        return bytes(out)
+
+    # -- decoding ------------------------------------------------------
+    @staticmethod
+    def _bad(detail: str) -> CatalogStoreError:
+        return CatalogStoreError(f"garbled mmap object: {detail}")
+
+    def _bounds(self, blob) -> int:
+        """Validate outer framing; returns the footer offset."""
+        if len(blob) < 24 or (len(blob) % 8) != 0:
+            raise self._bad(f"implausible size {len(blob)}")
+        if bytes(blob[:4]) != self.MAGIC:
+            raise CatalogStoreError("not an mmap catalog object (bad magic)")
+        version, _ = struct.unpack_from("<HH", blob, 4)
+        if version != self.version:
+            raise CatalogStoreError(
+                f"mmap object codec version {version}, expected {self.version}"
+            )
+        if bytes(blob[-4:]) != self.FOOTER_MAGIC:
+            raise self._bad("missing footer (truncated write?)")
+        return len(blob) - 8
+
+    def _strings(self, blob, offset: int, end: int):
+        """Decode one string-set block; returns ``(frozenset, next offset)``."""
+        if offset + 8 > end:
+            raise self._bad("string block header out of bounds")
+        count, blob_len = struct.unpack_from("<II", blob, offset)
+        offset += 8
+        if offset + 4 * count + blob_len > end:
+            raise self._bad("string block data out of bounds")
+        lengths = np.frombuffer(blob, dtype="<u4", count=count, offset=offset)
+        offset += 4 * count
+        if int(lengths.sum()) != blob_len:
+            raise self._bad("string lengths disagree with blob size")
+        try:
+            data = bytes(blob[offset : offset + blob_len]).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise self._bad("invalid UTF-8 value") from error
+        values = []
+        at = 0
+        # Lengths are UTF-8 byte counts; re-slice on the decoded text via
+        # per-piece decode only when the blob is not pure ASCII.
+        if len(data) == blob_len:
+            for length in lengths.tolist():
+                values.append(data[at : at + length])
+                at += length
+        else:
+            raw = bytes(blob[offset : offset + blob_len])
+            for length in lengths.tolist():
+                values.append(raw[at : at + length].decode("utf-8"))
+                at += length
+        return frozenset(values), offset + blob_len
+
+    def _header(self, blob):
+        footer_at = self._bounds(blob)
+        meta_len, n_columns = struct.unpack_from("<II", blob, 8)
+        meta_end = 16 + meta_len
+        if meta_end > footer_at:
+            raise self._bad("meta block out of bounds")
+        try:
+            meta = json.loads(bytes(blob[16:meta_end]).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise self._bad(f"bad meta block: {error}") from error
+        if not isinstance(meta, dict):
+            raise self._bad("meta is not a dict")
+        directory_at = meta_end + (-meta_end % 8)
+        if directory_at + 8 * n_columns > footer_at:
+            raise self._bad("column directory out of bounds")
+        offsets = np.frombuffer(
+            blob, dtype="<u8", count=n_columns, offset=directory_at
+        )
+        return meta, offsets, footer_at
+
+    def decode_meta(self, blob) -> dict:
+        return self._header(blob)[0]
+
+    def decode(self, blob):
+        meta, offsets, footer_at = self._header(blob)
+        entries = {}
+        for raw_offset in offsets.tolist():
+            offset = int(raw_offset)
+            if offset % 8 or offset + 16 > footer_at:
+                raise self._bad(f"column block offset {offset} out of bounds")
+            name_len, num_perm, flags, _ = struct.unpack_from(
+                "<IIII", blob, offset
+            )
+            offset += 16
+            if offset + 8 * num_perm + name_len > footer_at:
+                raise self._bad("column block data out of bounds")
+            # The zero-copy heart: a read-only uint64 view into the
+            # (possibly memory-mapped) buffer, no astype, no tobytes.
+            signature = np.frombuffer(
+                blob, dtype="<u8", count=num_perm, offset=offset
+            )
+            offset += 8 * num_perm
+            try:
+                column = bytes(blob[offset : offset + name_len]).decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise self._bad("invalid UTF-8 column name") from error
+            offset += name_len
+            distinct, offset = self._strings(blob, offset, footer_at)
+            if flags & self._EXPLICIT_NORMALIZED:
+                normalized, offset = self._strings(blob, offset, footer_at)
+            else:
+                normalized = _derived_normalized(distinct)
+            if column in entries:
+                raise self._bad(f"duplicate column {column!r}")
+            entries[column] = ColumnEntry(
+                distinct=distinct, normalized=normalized, signature=signature
+            )
+        return meta, entries
+
+    def check(self, blob) -> None:
+        footer_at = self._bounds(blob)
+        (recorded,) = struct.unpack_from("<I", blob, footer_at)
+        actual = zlib.crc32(bytes(blob[:footer_at]))
+        if recorded != actual:
+            raise self._bad(
+                f"crc mismatch (recorded {recorded:#010x}, actual {actual:#010x})"
+            )
+        self.decode(blob)
+
+
 #: Registered codecs by version; readers accept any, writers use the default.
-CODECS = {codec.version: codec for codec in (JsonCodec(), BinaryCodec())}
+CODECS = {
+    codec.version: codec for codec in (JsonCodec(), BinaryCodec(), MmapCodec())
+}
 DEFAULT_CODEC = CODECS[2]
 
 #: Shape of object fingerprints as the store addresses them: dash-joined
@@ -571,9 +795,23 @@ class CatalogStore:
         clock_skew: float = 0.0,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         backend=None,
+        object_codec: int = None,
     ):
         self.root = str(root)
         self.backend = backend_for(self.root, backend)
+        #: Codec new object writes use (reads accept every registered
+        #: codec regardless).  ``None`` keeps the historical default —
+        #: existing stores stay byte-identical; ``3`` opts into the
+        #: mmap-friendly fixed layout.
+        if object_codec is None:
+            self.codec = DEFAULT_CODEC
+        elif object_codec in CODECS:
+            self.codec = CODECS[object_codec]
+        else:
+            raise ValueError(
+                f"unknown object_codec {object_codec!r}; "
+                f"registered: {sorted(CODECS)}"
+            )
         self.profile_budget_bytes = profile_budget_bytes
         self.result_budget_bytes = result_budget_bytes
         self.tombstone_ttl = float(tombstone_ttl)
@@ -997,16 +1235,17 @@ class CatalogStore:
     def _object_candidates(self, fingerprint: str):
         """``(codec, path)`` pairs to try for one object, lazily.
 
-        The default codec's sharded path comes first — ``write_object``
-        leaves exactly one representation there, so the common case
-        (warm start probing thousands of objects) resolves on a single
-        ``exists``/``open`` without touching any shard manifest.  Only
-        when that misses (legacy or mid-migration store) is the shard
+        This store's write codec's sharded path comes first —
+        ``write_object`` leaves exactly one representation there, so the
+        common case (warm start probing thousands of objects) resolves
+        on a single ``exists``/``open`` without touching any shard
+        manifest.  Only when that misses (legacy, mid-migration, or a
+        store reopened under a different ``object_codec``) is the shard
         manifest consulted for a recorded codec, then every other
         registered codec's sharded path, then the layout-v1 flat path —
         so a stale shard manifest degrades to probing instead of
         failing."""
-        yield DEFAULT_CODEC, self._object_path(fingerprint)
+        yield self.codec, self._object_path(fingerprint, self.codec)
         recorded = self._read_shard_section(
             self._object_shard_dir(fingerprint), "objects"
         )
@@ -1015,9 +1254,9 @@ class CatalogStore:
         if version in CODECS:
             order.append(CODECS[version])
         order.extend(
-            codec for codec in CODECS.values() if codec is not DEFAULT_CODEC
+            codec for codec in CODECS.values() if codec is not self.codec
         )
-        seen = {self._object_path(fingerprint)}
+        seen = {self._object_path(fingerprint, self.codec)}
         for codec in order:
             path = self._object_path(fingerprint, codec)
             if path not in seen:
@@ -1122,7 +1361,7 @@ class CatalogStore:
                         for codec, path in self._object_candidates(fingerprint)
                         if self.backend.exists(path)
                     ),
-                    DEFAULT_CODEC.version,
+                    self.codec.version,
                 )
             self._update_shard_manifest(
                 shard_dir,
@@ -1161,14 +1400,14 @@ class CatalogStore:
         # (keeping lease-free stores byte-identical).
         lease = self.writer_lease()
         record = (
-            DEFAULT_CODEC.version
+            self.codec.version
             if lease is None
-            else {"codec": DEFAULT_CODEC.version, "lease": lease.token}
+            else {"codec": self.codec.version, "lease": lease.token}
         )
-        path = self._object_path(fingerprint)
+        path = self._object_path(fingerprint, self.codec)
         shard_dir = os.path.dirname(path)
         self.backend.makedirs(shard_dir)
-        blob = DEFAULT_CODEC.encode(meta, entries)
+        blob = self.codec.encode(meta, entries)
         with self._dir_lock(shard_dir):
             self.backend.write_bytes(path, blob)
             self._count("writes", "objects")
@@ -1189,49 +1428,70 @@ class CatalogStore:
             # Drop superseded representations (other codecs, the v1 flat
             # file) so a heal can never resurrect stale content later.
             for codec in CODECS.values():
-                if codec is not DEFAULT_CODEC:
+                if codec is not self.codec:
                     self._remove(self._object_path(fingerprint, codec))
             self._remove(self._legacy_object_path(fingerprint))
+
+    def _read_artifact(self, codec: Codec, path: str):
+        """One object representation as the bytes-like its codec wants:
+        a memory-mapped view for mmap codecs, an in-memory blob
+        otherwise.  Called lock-free by design — a page fault on mapped
+        artifact data is disk I/O and must never happen under a store
+        lock."""
+        if codec.mmap:
+            return self.backend.open_mmap(path)
+        return self.backend.read_bytes(path)
+
+    def _decode_candidates(self, fingerprint: str, decoder):
+        """Run ``decoder(codec, blob)`` over the object's representations
+        until one succeeds.
+
+        A representation that exists but fails to decode does not abort
+        the read: the next candidate is tried, so a torn v3 artifact
+        left by a crashed upgrade *fails closed* onto the surviving v2
+        file (``verify()`` still reports the torn file).  Only when no
+        representation decodes is the first corruption raised."""
+        first_error = None
+        for codec, path in self._object_candidates(fingerprint):
+            try:
+                blob = self._read_artifact(codec, path)
+            except FileNotFoundError:
+                continue
+            try:
+                decoded = decoder(codec, blob)
+            except CatalogStoreError as error:
+                if first_error is None:
+                    first_error = CatalogStoreError(
+                        f"corrupt catalog object at {path!r}: {error}"
+                    )
+                    first_error.__cause__ = error
+                continue
+            self._count("reads", "objects")
+            self._count("read_bytes", "objects", len(blob))
+            return decoded
+        if first_error is not None:
+            raise first_error
+        raise KeyError(f"no catalog object {fingerprint!r}")
 
     def read_object(self, fingerprint: str):
         """Load ``(meta, {column: ColumnEntry})`` for one fingerprint.
 
         Tries the sharded layout first (any registered codec), then the
         layout-v1 flat path.  Raises ``KeyError`` when no representation
-        exists and :class:`CatalogStoreError` when the first existing one
-        is corrupt."""
-        for codec, path in self._object_candidates(fingerprint):
-            try:
-                blob = self.backend.read_bytes(path)
-            except FileNotFoundError:
-                continue
-            try:
-                decoded = codec.decode(blob)
-            except CatalogStoreError as error:
-                raise CatalogStoreError(
-                    f"corrupt catalog object at {path!r}: {error}"
-                ) from error
-            self._count("reads", "objects")
-            self._count("read_bytes", "objects", len(blob))
-            return decoded
-        raise KeyError(f"no catalog object {fingerprint!r}")
+        exists and :class:`CatalogStoreError` when every existing one is
+        corrupt (a corrupt representation with a healthy fallback reads
+        from the fallback)."""
+        return self._decode_candidates(
+            fingerprint, lambda codec, blob: codec.decode(blob)
+        )
 
     def read_object_meta(self, fingerprint: str) -> dict:
-        """Just the ``meta`` dict of one object — the binary codec reads
-        only the fixed-size header, so Table-I style reports over large
-        catalogs never materialize the value sets."""
-        for codec, path in self._object_candidates(fingerprint):
-            try:
-                blob = self.backend.read_bytes(path)
-            except FileNotFoundError:
-                continue
-            try:
-                return codec.decode_meta(blob)
-            except CatalogStoreError as error:
-                raise CatalogStoreError(
-                    f"corrupt catalog object at {path!r}: {error}"
-                ) from error
-        raise KeyError(f"no catalog object {fingerprint!r}")
+        """Just the ``meta`` dict of one object — the binary and mmap
+        codecs read only the fixed-size header, so Table-I style reports
+        over large catalogs never materialize the value sets."""
+        return self._decode_candidates(
+            fingerprint, lambda codec, blob: codec.decode_meta(blob)
+        )
 
     def _shard_tombstones(self, fingerprint: str) -> dict:
         """Tombstone section of the shard holding ``fingerprint``."""
@@ -1868,12 +2128,12 @@ class CatalogStore:
         """
         migrated_objects = 0
         for fingerprint in self.list_objects():
-            if self.backend.exists(self._object_path(fingerprint)):
+            if self.backend.exists(self._object_path(fingerprint, self.codec)):
                 # Already migrated — but a crash between an earlier
                 # rewrite and its cleanup can leave a superseded legacy
                 # copy behind; finish that removal here.
                 for codec in CODECS.values():
-                    if codec is not DEFAULT_CODEC:
+                    if codec is not self.codec:
                         self._remove(self._object_path(fingerprint, codec))
                 self._remove(self._legacy_object_path(fingerprint))
                 continue
@@ -1912,10 +2172,26 @@ class CatalogStore:
             problems.append(f"root manifest: {error}")
         objects = self.list_objects()
         for fingerprint in objects:
-            try:
-                self.read_object(fingerprint)
-            except (KeyError, CatalogStoreError) as error:
-                problems.append(f"object {fingerprint!r}: {error}")
+            # Every representation present is checked individually (the
+            # read path falls through corrupt candidates, so a torn v3
+            # beside a healthy v2 still reads — verify must flag it).
+            found = 0
+            for codec, path in self._object_candidates(fingerprint):
+                try:
+                    blob = self._read_artifact(codec, path)
+                except FileNotFoundError:
+                    continue
+                found += 1
+                try:
+                    codec.check(blob)
+                except CatalogStoreError as error:
+                    problems.append(
+                        f"object {fingerprint!r} at {path!r}: {error}"
+                    )
+            if not found:
+                problems.append(
+                    f"object {fingerprint!r}: no representation on disk"
+                )
         objects_dir = self._objects_dir()
         if self.backend.isdir(objects_dir):
             for name in sorted(self.backend.listdir(objects_dir)):

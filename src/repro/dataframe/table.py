@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.dataframe.types import (
     ColumnType,
     encode_categorical,
     infer_column_type,
-    is_missing,
     to_float_array,
 )
 
@@ -54,6 +54,18 @@ class Table:
             self._columns[key] = cells
         self._n_rows = 0 if n_rows is None else n_rows
         self._type_cache = {}
+        # Derived-view caches.  Cells are immutable by contract
+        # (column() documents "don't mutate"; every transformation
+        # returns a new Table), so numeric/encoded arrays and distinct
+        # sets are computed once per column and shared; cached arrays
+        # are frozen so an accidental in-place write fails loudly
+        # instead of corrupting every later reader.
+        self._array_cache = {}
+        self._distinct_cache = {}
+        # Scratch space for consumers caching derived read-only
+        # structures against this table's lifetime (e.g. the join-hop
+        # key lookups in repro.discovery.join_path).
+        self._derived_cache = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -114,14 +126,35 @@ class Table:
         return [c for c in self._columns if self.column_type(c) == ColumnType.NUMERIC]
 
     def numeric(self, name: str) -> np.ndarray:
-        """Column as float array, NaN for missing/unparseable cells."""
-        return to_float_array(self.column(name))
+        """Column as float array, NaN for missing/unparseable cells.
+
+        The array is computed once per column and cached read-only;
+        copy before mutating.
+        """
+        if not kernels.caching_enabled():
+            return to_float_array(self.column(name))
+        key = ("numeric", name)
+        if key not in self._array_cache:
+            arr = to_float_array(self.column(name))
+            arr.flags.writeable = False
+            self._array_cache[key] = arr
+        return self._array_cache[key]
 
     def encoded(self, name: str) -> np.ndarray:
-        """Column as floats: numeric as-is, otherwise deterministic codes."""
+        """Column as floats: numeric as-is, otherwise deterministic codes.
+
+        Cached read-only like :meth:`numeric`; copy before mutating.
+        """
         if self.column_type(name) == ColumnType.NUMERIC:
             return self.numeric(name)
-        return encode_categorical(self.column(name))
+        if not kernels.caching_enabled():
+            return encode_categorical(self.column(name))
+        key = ("encoded", name)
+        if key not in self._array_cache:
+            arr = encode_categorical(self.column(name))
+            arr.flags.writeable = False
+            self._array_cache[key] = arr
+        return self._array_cache[key]
 
     def to_matrix(self, columns=None) -> np.ndarray:
         """Stack ``columns`` (default: all) into an (n_rows, k) float matrix."""
@@ -140,8 +173,15 @@ class Table:
             yield self.row(i)
 
     def distinct_values(self, name: str) -> set:
-        """Distinct non-missing values of a column, as strings."""
-        return {str(v) for v in self.column(name) if not is_missing(v)}
+        """Distinct non-missing values of a column, as strings.
+
+        Cached per column; treat the returned set as read-only.
+        """
+        if not kernels.caching_enabled():
+            return kernels.distinct_strings(self.column(name))
+        if name not in self._distinct_cache:
+            self._distinct_cache[name] = kernels.distinct_strings(self.column(name))
+        return self._distinct_cache[name]
 
     def estimated_byte_size(self, size_sample: int = 1000) -> int:
         """In-memory cell-size estimate in bytes (Table I's 'Size').
@@ -171,7 +211,7 @@ class Table:
         cells = self.column(name)
         if not cells:
             return 0.0
-        return sum(1 for v in cells if is_missing(v)) / len(cells)
+        return (len(cells) - kernels.count_non_missing(cells)) / len(cells)
 
     # ------------------------------------------------------------------
     # Schema / row transformations (all return new tables)

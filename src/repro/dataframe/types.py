@@ -1,10 +1,18 @@
-"""Column type inference and numeric coercion for noisy tables."""
+"""Column type inference and numeric coercion for noisy tables.
+
+The coercion loops live in :mod:`repro.kernels` — vectorized with exact
+scalar fallbacks (``REPRO_KERNELS=reference`` forces the scalar path
+everywhere).  This module keeps the public names and the
+:class:`ColumnType` enum the rest of the library imports.
+"""
 
 from __future__ import annotations
 
 from enum import Enum
 
 import numpy as np
+
+from repro import kernels
 
 
 class ColumnType(Enum):
@@ -17,32 +25,17 @@ class ColumnType(Enum):
 
 
 def _is_missing(value) -> bool:
-    if value is None:
-        return True
-    if isinstance(value, float) and np.isnan(value):
-        return True
-    if isinstance(value, str) and value.strip() == "":
-        return True
-    return False
+    return kernels.is_missing(value)
 
 
 def is_missing(value) -> bool:
     """True when ``value`` represents a missing cell (None, NaN, '')."""
-    return _is_missing(value)
+    return kernels.is_missing(value)
 
 
 def _coerce_number(value):
     """Return float(value) or None if it is not numeric."""
-    if isinstance(value, bool):
-        return float(value)
-    if isinstance(value, (int, float, np.integer, np.floating)):
-        return None if isinstance(value, float) and np.isnan(value) else float(value)
-    if isinstance(value, str):
-        try:
-            return float(value.strip())
-        except ValueError:
-            return None
-    return None
+    return kernels.coerce_number(value)
 
 
 def infer_column_type(values, categorical_threshold: int = 20) -> ColumnType:
@@ -52,24 +45,12 @@ def infer_column_type(values, categorical_threshold: int = 20) -> ColumnType:
     CATEGORICAL when it is non-numeric with few distinct values; otherwise
     TEXT.  Fully missing columns are EMPTY.
     """
-    non_missing = [v for v in values if not _is_missing(v)]
-    if not non_missing:
-        return ColumnType.EMPTY
-    if all(_coerce_number(v) is not None for v in non_missing):
-        return ColumnType.NUMERIC
-    distinct = {str(v) for v in non_missing}
-    if len(distinct) <= max(categorical_threshold, int(0.05 * len(non_missing))):
-        return ColumnType.CATEGORICAL
-    return ColumnType.TEXT
+    return ColumnType(kernels.infer_column_type(values, categorical_threshold))
 
 
 def to_float_array(values) -> np.ndarray:
     """Convert raw cells to a float array with NaN for missing/non-numeric."""
-    out = np.empty(len(values), dtype=float)
-    for i, v in enumerate(values):
-        num = None if _is_missing(v) else _coerce_number(v)
-        out[i] = np.nan if num is None else num
-    return out
+    return kernels.to_float_array(values)
 
 
 def encode_categorical(values) -> np.ndarray:
@@ -78,9 +59,4 @@ def encode_categorical(values) -> np.ndarray:
     Codes are assigned by sorted string order so the encoding is
     deterministic across runs (no hash randomization).
     """
-    keys = sorted({str(v) for v in values if not _is_missing(v)})
-    mapping = {k: float(i) for i, k in enumerate(keys)}
-    out = np.empty(len(values), dtype=float)
-    for i, v in enumerate(values):
-        out[i] = np.nan if _is_missing(v) else mapping[str(v)]
-    return out
+    return kernels.encode_categorical(values)

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.dataframe.table import Table
-from repro.dataframe.types import is_missing
 from repro.discovery.index import DiscoveryIndex
 from repro.discovery.join_graph import enumerate_join_paths
 from repro.discovery.join_path import Augmentation
@@ -72,7 +72,7 @@ def materialize_candidates(
     candidates = []
     for aug in augmentations:
         values = aug.materialize(base, corpus)
-        matched = sum(1 for v in values if not is_missing(v))
+        matched = kernels.count_non_missing(values)
         overlap = matched / max(1, len(values))
         if matched == 0 or overlap < min_overlap:
             continue
@@ -97,6 +97,11 @@ def profile_candidates(
     fingerprint-keyed hit is exact, not approximate.  Newly computed
     vectors are written back and flushed at the end.
     """
+    # One pass shares base/sample state: every context below has the
+    # same base, sample_size, and seed, so sampled base arrays are
+    # computed once, not once per candidate (off in reference mode,
+    # which reproduces the pre-kernel cost model).
+    shared_cache = {} if kernels.caching_enabled() else None
     try:
         for candidate in candidates:
             if cache is not None:
@@ -112,6 +117,7 @@ def profile_candidates(
                 overlap_fraction=candidate.overlap,
                 sample_size=sample_size,
                 seed=seed,
+                shared_cache=shared_cache,
             )
             candidate.profile_vector = registry.compute_vector(context)
             if cache is not None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.dataframe.table import Table
 from repro.discovery.lsh import LshIndex
 from repro.discovery.minhash import MinHasher
@@ -96,8 +97,12 @@ class DiscoveryIndex:
         min_containment: float = 0.25,
         max_distinct: int = 5000,
         seed: int = 0,
+        hash_version: int = 1,
     ):
-        self._hasher = MinHasher(num_perm=num_perm, seed=seed)
+        self.hash_version = kernels.check_hash_version(hash_version)
+        self._hasher = MinHasher(
+            num_perm=num_perm, seed=seed, hash_version=hash_version
+        )
         self._lsh = LshIndex(num_perm=num_perm, bands=bands)
         self.num_perm = num_perm
         self.bands = bands
@@ -128,19 +133,24 @@ class DiscoveryIndex:
     def config(self) -> dict:
         """Construction parameters (what a catalog must match to reuse
         persisted signatures)."""
-        return {
+        config = {
             "num_perm": self.num_perm,
             "bands": self.bands,
             "min_containment": self.min_containment,
             "max_distinct": self.max_distinct,
             "seed": self.seed,
         }
+        # hash_version appears only when non-default so every manifest
+        # and artifact id written before the key existed stays valid.
+        if self.hash_version != 1:
+            config["hash_version"] = self.hash_version
+        return config
 
     def __contains__(self, table_name: str) -> bool:
         return table_name in self._tables
 
-    def compute_column_entry(self, table: Table, column: str) -> ColumnEntry:
-        """Signature + value sets for one column (the expensive step)."""
+    def _distinct_sample(self, table: Table, column: str) -> set:
+        """The column's (possibly down-sampled) distinct-value set."""
         distinct = table.distinct_values(column)
         if len(distinct) > self.max_distinct:
             rng = np.random.default_rng(
@@ -150,11 +160,36 @@ class DiscoveryIndex:
                 sorted(distinct), size=self.max_distinct, replace=False
             )
             distinct = set(picks.tolist())
+        return distinct
+
+    def compute_column_entry(self, table: Table, column: str) -> ColumnEntry:
+        """Signature + value sets for one column (the expensive step)."""
+        distinct = self._distinct_sample(table, column)
         return ColumnEntry(
             distinct=frozenset(distinct),
-            normalized=frozenset(v.strip().lower() for v in distinct),
+            normalized=frozenset(kernels.normalize_strings(distinct)),
             signature=self._hasher.signature(distinct),
         )
+
+    def compute_column_entries(self, table: Table, columns=None) -> dict:
+        """Entries for many columns with one batched signing pass.
+
+        Row-for-row identical to calling :meth:`compute_column_entry`
+        per column; the MinHash permutation work is batched into a few
+        large kernel calls instead of one per column.
+        """
+        columns = table.column_names if columns is None else list(columns)
+        distincts = [self._distinct_sample(table, column) for column in columns]
+        signatures = self._hasher.signatures(distincts)
+        normalized = kernels.normalize_many(distincts)
+        return {
+            column: ColumnEntry(
+                distinct=frozenset(distinct),
+                normalized=frozenset(normalized[i]),
+                signature=signatures[i],
+            )
+            for i, (column, distinct) in enumerate(zip(columns, distincts, strict=True))
+        }
 
     def add_table(self, table: Table, entries: dict = None) -> None:
         """Index every column of ``table``.
@@ -174,8 +209,12 @@ class DiscoveryIndex:
             )
         # Resolve and validate everything before touching index state, so
         # a bad precomputed entry cannot leave a half-indexed table.
+        to_compute = [c for c in table.column_names if not entries.get(c)]
+        computed = (
+            self.compute_column_entries(table, to_compute) if to_compute else {}
+        )
         resolved = {
-            column: entries.get(column) or self.compute_column_entry(table, column)
+            column: entries.get(column) or computed[column]
             for column in table.column_names
         }
         for column, entry in resolved.items():
@@ -184,11 +223,16 @@ class DiscoveryIndex:
                     f"entry for {table.name}.{column} has signature shape "
                     f"{entry.signature.shape}, expected ({self.num_perm},)"
                 )
+        refs = [ColumnRef(table.name, column) for column in resolved]
+        if refs:
+            # One bulk LSH insert (validates before mutating, like the
+            # per-column path did via the shape check above).
+            self._lsh.insert_many(
+                refs, np.stack([entry.signature for entry in resolved.values()])
+            )
         self._tables[table.name] = table
-        for column, entry in resolved.items():
-            ref = ColumnRef(table.name, column)
+        for ref, entry in zip(refs, resolved.values(), strict=True):
             self._entries[ref] = entry
-            self._lsh.insert(ref, entry.signature)
 
     def add_table_hydrated(self, table: Table, signatures: dict) -> None:
         """Index a table from precomputed signatures alone (warm start).
@@ -278,15 +322,39 @@ class DiscoveryIndex:
         return self
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _normalized_array(entry: ColumnEntry):
+        """Sorted unicode array of ``entry.normalized`` for searchsorted
+        containment, cached on the entry; ``None`` when the values are
+        outside the array fast path (then set intersection is used)."""
+        arr = getattr(entry, "_norm_array", False)
+        if arr is False:
+            arr = kernels.sorted_unique_array(entry.normalized)
+            object.__setattr__(entry, "_norm_array", arr)
+        return arr
+
     def _verified(self, query_values, signature, exclude_table=None) -> list:
         """LSH probe + containment verification, shared by the live-table
         and stored-entry query paths."""
+        query_arr = (
+            kernels.sorted_unique_array(query_values)
+            if kernels.active_mode() != "reference"
+            else None
+        )
         results = []
         for ref in self._lsh.query(signature):
             if exclude_table is not None and ref.table == exclude_table:
                 continue
-            candidate = self._entry(ref).normalized
-            containment = len(query_values & candidate) / len(query_values)
+            entry = self._entry(ref)
+            if query_arr is not None:
+                candidate_arr = self._normalized_array(entry)
+            else:
+                candidate_arr = None
+            if candidate_arr is not None:
+                count = kernels.containment_count_arrays(query_arr, candidate_arr)
+            else:
+                count = len(query_values & entry.normalized)
+            containment = count / len(query_values)
             if containment >= self.min_containment:
                 results.append((ref, containment))
         results.sort(key=lambda item: (-item[1], str(item[0])))
@@ -299,7 +367,7 @@ class DiscoveryIndex:
         the query column's values in the candidate column, filtered by
         ``min_containment``.  ``exclude_table`` suppresses self-joins.
         """
-        query_values = {v.strip().lower() for v in table.distinct_values(column)}
+        query_values = kernels.normalize_strings(table.distinct_values(column))
         if not query_values:
             return []
         return self._verified(

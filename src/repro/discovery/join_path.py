@@ -11,9 +11,42 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+from repro import kernels
 from repro.dataframe.ops import _aggregate, _key
 from repro.dataframe.table import Table
-from repro.dataframe.types import infer_column_type, is_missing
+
+
+def _build_lookup(table: Table, column: str) -> dict:
+    lookup = {}
+    for i, cell in enumerate(table.column(column)):
+        k = _key(cell)
+        if k is not None:
+            lookup.setdefault(k, []).append(i)
+    return lookup
+
+
+def _hop_lookup(table: Table, column: str) -> dict:
+    """Join-key → row-indices map for one hop, cached on the (immutable)
+    table so augmentations sharing a hop build it once."""
+    if not kernels.caching_enabled():
+        return _build_lookup(table, column)
+    cache = table._derived_cache
+    key = ("join_lookup", column)
+    if key not in cache:
+        cache[key] = _build_lookup(table, column)
+    return cache[key]
+
+
+def _row_keys(table: Table, column: str) -> list:
+    """Normalized join key per row of ``column``, cached on the table —
+    every augmentation starting from the same base column reuses it."""
+    if not kernels.caching_enabled():
+        return [_key(cell) for cell in table.column(column)]
+    cache = table._derived_cache
+    key = ("join_keys", column)
+    if key not in cache:
+        cache[key] = [_key(cell) for cell in table.column(column)]
+    return cache[key]
 
 
 @dataclass(frozen=True)
@@ -93,31 +126,48 @@ class Augmentation:
             raise KeyError(
                 f"join column {first.left_column!r} missing from base table"
             )
-        keys = list(base.column(first.left_column))
+        keys = None  # raw join-key cells after hop > 0
 
         for hop, step in enumerate(self.path.steps):
             right = corpus.get(step.right_table)
             if right is None:
                 raise KeyError(f"table {step.right_table!r} not in corpus")
-            lookup = {}
-            for i, cell in enumerate(right.column(step.right_column)):
-                k = _key(cell)
-                if k is not None:
-                    lookup.setdefault(k, []).append(i)
+            lookup = _hop_lookup(right, step.right_column)
+            if hop == 0:
+                norm_keys = _row_keys(base, first.left_column)
+            else:
+                norm_keys = [_key(cell) for cell in keys]
             is_last = hop == len(self.path.steps) - 1
             if is_last:
-                bring = right.column(self.output_column)
+                bring_column = self.output_column
             else:
-                bring = right.column(self.path.steps[hop + 1].left_column)
-            col_type = infer_column_type(bring)
+                bring_column = self.path.steps[hop + 1].left_column
+            bring = right.column(bring_column)
+            # Same inference as infer_column_type(bring), served from
+            # the table's type cache (bring IS right's named column).
+            col_type = right.column_type(bring_column)
+            # The aggregate depends only on the join key (fixed lookup,
+            # bring column, and type per hop), so base rows sharing a
+            # key — the common case on categorical joins — compute it
+            # once instead of once per row.  Memoization is off in
+            # reference mode (kernels.caching_enabled) so that mode
+            # reproduces the pre-kernel per-row cost model.
+            memoize = kernels.caching_enabled()
+            aggregated = {}
             next_keys = []
-            for cell in keys:
-                k = _key(cell)
+            for k in norm_keys:
                 rows = lookup.get(k) if k is not None else None
                 if not rows:
                     next_keys.append(None)
-                else:
+                    continue
+                if not memoize:
                     next_keys.append(_aggregate([bring[i] for i in rows], col_type))
+                    continue
+                if k not in aggregated:
+                    aggregated[k] = _aggregate(
+                        [bring[i] for i in rows], col_type
+                    )
+                next_keys.append(aggregated[k])
             keys = next_keys
 
         self._cache[cache_key] = keys
@@ -128,7 +178,7 @@ class Augmentation:
         values = self.materialize(base, corpus)
         if not values:
             return 0.0
-        return sum(1 for v in values if not is_missing(v)) / len(values)
+        return kernels.count_non_missing(values) / len(values)
 
     def apply(self, table: Table, base: Table, corpus: dict) -> Table:
         """Add the materialized column to ``table`` (row-aligned with base)."""

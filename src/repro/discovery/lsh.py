@@ -32,9 +32,16 @@ class LshIndex:
             raise ValueError(
                 f"signature must have shape ({self.num_perm},), got {signature.shape}"
             )
+        # Bucket keys are the bands' raw little-endian uint64 bytes: the
+        # mapping band-values → bytes is bijective (fixed width), so
+        # bucketing is identical to keying on value tuples, and slicing
+        # one bytes object beats building a tuple per band.  Keys never
+        # leave the process, so platform byte order is fine.
+        raw = np.ascontiguousarray(signature, dtype=np.uint64).tobytes()
+        width = self.rows_per_band * 8
         for band in range(self.bands):
-            start = band * self.rows_per_band
-            yield band, tuple(signature[start : start + self.rows_per_band].tolist())
+            start = band * width
+            yield band, raw[start : start + width]
 
     def insert(self, item, signature: np.ndarray) -> None:
         """Index ``item`` (hashable id) under its signature."""
@@ -59,13 +66,18 @@ class LshIndex:
             raise ValueError(f"items already indexed: {duplicates!r}")
         if len(set(items)) != len(items):
             raise ValueError("duplicate items within batch")
-        nested = signatures.reshape(
-            len(items), self.bands, self.rows_per_band
-        ).tolist()
+        raw = np.ascontiguousarray(signatures, dtype=np.uint64).tobytes()
+        row_width = self.num_perm * 8
+        width = self.rows_per_band * 8
+        buckets = self._buckets
         for i, item in enumerate(items):
             self._items[item] = signatures[i]
-            for band, key in enumerate(nested[i]):
-                self._buckets[band].setdefault(tuple(key), set()).add(item)
+            row = i * row_width
+            for band in range(self.bands):
+                start = row + band * width
+                buckets[band].setdefault(raw[start : start + width], set()).add(
+                    item
+                )
 
     def remove(self, item) -> None:
         """Drop ``item`` from the index (inverse of :meth:`insert`).

@@ -2,20 +2,18 @@
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
+from repro import kernels
 from repro.utils.rng import ensure_rng
 
-_MERSENNE = (1 << 61) - 1
-_MAX_HASH = (1 << 32) - 1
+_MERSENNE = kernels.MERSENNE
+_MAX_HASH = kernels.MAX_HASH
 
 
 def _stable_hash(value: str) -> int:
     """Stable 32-bit hash of a string (independent of PYTHONHASHSEED)."""
-    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=4).digest()
-    return int.from_bytes(digest, "big")
+    return kernels.stable_hash(value, hash_version=1)
 
 
 def jaccard(a: set, b: set) -> float:
@@ -28,29 +26,49 @@ def jaccard(a: set, b: set) -> float:
 class MinHasher:
     """k-permutation MinHash over string sets.
 
-    Uses the standard ``(a*h + b) mod p`` universal hash family.  The same
-    ``(num_perm, seed)`` pair always produces comparable signatures.
+    Uses the standard ``(a*h + b) mod p`` universal hash family.  The
+    same ``(num_perm, seed, hash_version)`` triple always produces
+    comparable signatures.  Hashing and permutation run on the batch
+    kernels (:mod:`repro.kernels`); ``hash_version=1`` is the pinned
+    blake2b compatibility hash every stored signature was computed
+    with, ``hash_version=2`` the vectorized tabulation family.
     """
 
-    def __init__(self, num_perm: int = 64, seed: int = 0):
+    def __init__(self, num_perm: int = 64, seed: int = 0, hash_version: int = 1):
         if num_perm < 4:
             raise ValueError(f"num_perm must be >= 4, got {num_perm}")
         self.num_perm = num_perm
+        self.hash_version = kernels.check_hash_version(hash_version)
+        self._hash_seed = int(seed)
         rng = ensure_rng(seed)
         self._a = rng.integers(1, _MERSENNE, size=num_perm, dtype=np.uint64)
         self._b = rng.integers(0, _MERSENNE, size=num_perm, dtype=np.uint64)
 
-    def signature(self, values) -> np.ndarray:
-        """MinHash signature (uint64 array of length ``num_perm``)."""
+    def _hashes(self, values) -> np.ndarray:
+        # Dedup exactly like the original set() pass; sorting is not
+        # needed (min over values is order-independent) but dedup keeps
+        # the permutation matrix small on repetitive columns.
         values = set(values)
-        if not values:
-            return np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
-        hashes = np.array([_stable_hash(str(v)) for v in values], dtype=np.uint64)
-        # (num_values, num_perm) permuted hashes, min over values.
-        permuted = (
-            hashes[:, None] * self._a[None, :] + self._b[None, :]
-        ) % np.uint64(_MERSENNE) % np.uint64(_MAX_HASH + 1)
-        return permuted.min(axis=0)
+        return kernels.hash_strings(
+            [str(v) for v in values], self.hash_version, seed=self._hash_seed
+        )
+
+    def signature(self, values) -> np.ndarray:
+        """MinHash signature (uint64 array of length ``num_perm``).
+
+        Empty input yields the all-``MAX_HASH`` signature.
+        """
+        return kernels.minhash_from_hashes(self._hashes(values), self._a, self._b)
+
+    def signatures(self, value_sets) -> np.ndarray:
+        """Batch signatures: one row per value set in ``value_sets``.
+
+        Equivalent to stacking :meth:`signature` of each set, but the
+        permutation work is batched into a few large kernel calls.
+        """
+        return kernels.minhash_many(
+            [self._hashes(values) for values in value_sets], self._a, self._b
+        )
 
     @staticmethod
     def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:

@@ -1,0 +1,192 @@
+"""Retained scalar reference implementations of every kernel.
+
+These are the per-value Python loops the vectorized kernels replaced,
+kept verbatim (same math, same edge handling) for three reasons:
+
+* the **differential test suite** (``tests/kernels/``) drives every
+  vectorized kernel against these on adversarial columns — the reference
+  is the executable specification;
+* ``REPRO_KERNELS=reference`` forces the whole library back onto this
+  path at runtime, the debugging escape hatch when a vectorized result
+  looks wrong;
+* a few inputs (exotic cell types, NUL-embedded strings) are outside the
+  vectorized fast paths' preconditions, and the dispatchers fall back to
+  these functions for exactness.
+
+Nothing here may import from the vectorized modules or from
+``repro.dataframe`` — the reference stands alone so a kernel bug can
+never contaminate its own oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+MERSENNE = (1 << 61) - 1
+MAX_HASH = (1 << 32) - 1
+
+_U64 = (1 << 64) - 1
+#: Multiplier/fold constants of the hash_version-2 finalizer (the
+#: splitmix64/murmur3 mixers; any fixed odd constants work, these are
+#: the well-studied ones).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX = 0xFF51AFD7ED558CCD
+
+
+def stable_hash_v1(value: str) -> int:
+    """Stable 32-bit hash of a string (independent of PYTHONHASHSEED).
+
+    This is the hash every stored v2 signature was computed with; it is
+    pinned forever (``blake2b(utf-8, digest_size=4)``, big-endian).
+    """
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+def tabulation_tables(seed: int) -> np.ndarray:
+    """The ``(8, 256)`` uint64 tabulation tables of hash_version 2.
+
+    Derived from ``seed`` via counter-mode blake2b so the tables are
+    stable across numpy and Python versions forever (no RNG stream
+    dependency).  Shared by the scalar and vectorized paths — the hash
+    *function* is identical, only the evaluation strategy differs.
+    """
+    blob = bytearray()
+    counter = 0
+    while len(blob) < 8 * 256 * 8:
+        digest = hashlib.blake2b(
+            f"repro-tab64:{seed}:{counter}".encode("utf-8"), digest_size=64
+        ).digest()
+        blob += digest
+        counter += 1
+    table = np.frombuffer(bytes(blob[: 8 * 256 * 8]), dtype="<u8")
+    return table.reshape(8, 256).astype(np.uint64)
+
+
+def stable_hash_v2(value: str, tables: np.ndarray) -> int:
+    """Scalar hash_version-2 tabulation hash (32-bit output).
+
+    XOR of per-byte table lookups, each multiplied by an odd
+    position-dependent constant (so transposed bytes never collide
+    structurally), length-mixed and splitmix-folded to 32 bits.  The
+    vectorized kernel computes exactly this expression with numpy
+    uint64 wraparound arithmetic.
+    """
+    data = value.encode("utf-8")
+    h = 0
+    for i, byte in enumerate(data):
+        term = (int(tables[i & 7, byte]) * (2 * i + 1)) & _U64
+        h ^= term
+    h = (h * _GOLDEN + len(data)) & _U64
+    h ^= h >> 33
+    h = (h * _MIX) & _U64
+    h ^= h >> 33
+    return h & MAX_HASH
+
+
+def hash_strings(values, hash_version: int, tables=None) -> np.ndarray:
+    """uint64 array of stable hashes, one per value, in input order."""
+    if hash_version == 1:
+        return np.array(
+            [stable_hash_v1(v) for v in values], dtype=np.uint64
+        ).reshape(len(values))
+    return np.array(
+        [stable_hash_v2(v, tables) for v in values], dtype=np.uint64
+    ).reshape(len(values))
+
+
+def minhash_from_hashes(
+    hashes: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """MinHash signature from pre-hashed values — the original
+    ``MinHasher.signature`` matrix expression, verbatim."""
+    num_perm = a.shape[0]
+    if hashes.size == 0:
+        return np.full(num_perm, MAX_HASH, dtype=np.uint64)
+    permuted = (
+        hashes[:, None] * a[None, :] + b[None, :]
+    ) % np.uint64(MERSENNE) % np.uint64(MAX_HASH + 1)
+    return permuted.min(axis=0)
+
+
+# ----------------------------------------------------------------------
+# Scalar coercion / missing-value reference (the original
+# repro.dataframe.types loops, kept verbatim).
+# ----------------------------------------------------------------------
+def is_missing(value) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip() == "":
+        return True
+    return False
+
+
+def coerce_number(value):
+    """``float(value)`` or ``None`` if it is not numeric."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return None if isinstance(value, float) and np.isnan(value) else float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def to_float_array(values) -> np.ndarray:
+    out = np.empty(len(values), dtype=float)
+    for i, v in enumerate(values):
+        num = None if is_missing(v) else coerce_number(v)
+        out[i] = np.nan if num is None else num
+    return out
+
+
+def encode_categorical(values) -> np.ndarray:
+    keys = sorted({str(v) for v in values if not is_missing(v)})
+    mapping = {k: float(i) for i, k in enumerate(keys)}
+    out = np.empty(len(values), dtype=float)
+    for i, v in enumerate(values):
+        out[i] = np.nan if is_missing(v) else mapping[str(v)]
+    return out
+
+
+def infer_column_type(values, categorical_threshold: int = 20) -> str:
+    """Reference type inference; returns the ColumnType *value* string
+    (``"numeric"``/``"categorical"``/``"text"``/``"empty"``) so this
+    module stays import-independent of ``repro.dataframe``."""
+    non_missing = [v for v in values if not is_missing(v)]
+    if not non_missing:
+        return "empty"
+    if all(coerce_number(v) is not None for v in non_missing):
+        return "numeric"
+    distinct = {str(v) for v in non_missing}
+    if len(distinct) <= max(categorical_threshold, int(0.05 * len(non_missing))):
+        return "categorical"
+    return "text"
+
+
+def distinct_strings(cells) -> set:
+    """Distinct non-missing values as strings (``Table.distinct_values``)."""
+    return {str(v) for v in cells if not is_missing(v)}
+
+
+def count_non_missing(values) -> int:
+    return sum(1 for v in values if not is_missing(v))
+
+
+def normalize_strings(values) -> set:
+    """The containment normalization: ``strip().lower()`` of each value."""
+    return {v.strip().lower() for v in values}
+
+
+def containment_count(query_values: set, candidate_values) -> int:
+    """``|Q ∩ C|`` by exact set intersection."""
+    if not isinstance(candidate_values, (set, frozenset)):
+        candidate_values = set(candidate_values)
+    return len(query_values & candidate_values)

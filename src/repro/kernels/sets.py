@@ -1,0 +1,131 @@
+"""Set-shaped kernels: distinct values, missing counts, normalization,
+containment/overlap estimation.
+
+The containment kernels work on sorted numpy unicode arrays so a query
+can be matched against many candidate columns with ``searchsorted``
+instead of building a Python set intersection per pair.  Arrays are
+built once per column via :func:`sorted_unique_array` and cached by the
+caller; any value outside the unicode fast path's preconditions (NUL
+bytes, non-str cells) degrades to the exact set-based reference.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.kernels import reference
+
+__all__ = [
+    "containment_count",
+    "containment_count_arrays",
+    "count_non_missing",
+    "distinct_strings",
+    "normalize_many",
+    "normalize_strings",
+    "sorted_unique_array",
+]
+
+
+def _vectorized() -> bool:
+    from repro.kernels import active_mode
+
+    return active_mode() != "reference"
+
+
+def distinct_strings(cells) -> set:
+    """Distinct non-missing cells as strings (Table.distinct_values).
+
+    Fast path dedups *before* stringifying, which is only sound when
+    cell equality implies identical ``str()`` — true within a single
+    concrete type for ``str`` and ``int``, false across mixed numerics
+    (``1 == 1.0 == True`` but their strings differ, and ``-0.0 == 0.0``).
+    """
+    if _vectorized():
+        cells = list(cells)
+        if all(type(v) is str for v in cells):
+            return {v for v in set(cells) if v.strip() != ""}
+        if all(type(v) is int for v in cells):
+            return {str(v) for v in set(cells)}
+        if all(type(v) is float or v is None for v in cells):
+            # numpy's float64→str conversion is the same shortest
+            # round-trip formatting as Python's str() (dragon4), so the
+            # stringify itself vectorizes; -0.0/0.0, inf, and subnormals
+            # all format identically.  Pinned by the differential suite.
+            arr = np.array(cells, dtype=float)
+            keep = ~np.isnan(arr)
+            if not keep.all():
+                arr = arr[keep]
+            return set(arr.astype(str).tolist())
+    return reference.distinct_strings(cells)
+
+
+def count_non_missing(values) -> int:
+    """Number of non-missing cells; missingness tested once per
+    *distinct* value instead of once per cell."""
+    if _vectorized():
+        try:
+            counts = Counter(values)
+        except TypeError:  # unhashable cells
+            return reference.count_non_missing(values)
+        return sum(
+            n for v, n in counts.items() if not reference.is_missing(v)
+        )
+    return reference.count_non_missing(values)
+
+
+def normalize_strings(values) -> set:
+    """Containment normalization: ``strip().lower()`` per value.
+
+    Kept scalar in both modes on purpose: CPython's ``str.strip`` /
+    ``str.lower`` return the original object unchanged for
+    already-normal ASCII strings, and a measured ``np.strings``
+    round-trip (fixed-width unicode array construction + two passes +
+    re-boxing) runs ~3× slower on real column domains.  The batch entry
+    point below exists for call-shape so callers stay one-pass.
+    """
+    return reference.normalize_strings(values)
+
+
+def normalize_many(collections) -> list:
+    """:func:`normalize_strings` of each collection, batched."""
+    return [reference.normalize_strings(c) for c in collections]
+
+
+def sorted_unique_array(strings):
+    """Sorted numpy unicode array of ``strings``, or ``None`` when the
+    collection is outside the unicode fast path's preconditions."""
+    strings = list(strings)
+    if not strings:
+        return np.empty(0, dtype=np.str_)
+    if not all(type(v) is str and "\x00" not in v for v in strings):
+        return None
+    return np.unique(np.asarray(strings, dtype=np.str_))
+
+
+def containment_count_arrays(query: np.ndarray, candidate: np.ndarray) -> int:
+    """``|Q ∩ C|`` for two sorted-unique unicode arrays."""
+    if query.size == 0 or candidate.size == 0:
+        return 0
+    idx = np.searchsorted(candidate, query)
+    idx_clipped = np.minimum(idx, candidate.size - 1)
+    return int(((idx < candidate.size) & (candidate[idx_clipped] == query)).sum())
+
+
+def containment_count(query_values, candidate_values) -> int:
+    """``|Q ∩ C|`` with set semantics; accepts sets or prebuilt sorted
+    arrays (mixing is fine — arrays are rebuilt from sets as needed)."""
+    if (
+        _vectorized()
+        and isinstance(query_values, np.ndarray)
+        and isinstance(candidate_values, np.ndarray)
+    ):
+        return containment_count_arrays(query_values, candidate_values)
+    if isinstance(query_values, np.ndarray):
+        query_values = set(query_values.tolist())
+    if isinstance(candidate_values, np.ndarray):
+        candidate_values = set(candidate_values.tolist())
+    if not isinstance(query_values, (set, frozenset)):
+        query_values = set(query_values)
+    return reference.containment_count(query_values, candidate_values)

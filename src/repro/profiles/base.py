@@ -33,6 +33,11 @@ class ProfileContext:
         (the paper uses 100).
     seed:
         Seed for the sampling.
+    shared_cache:
+        Optional dict shared across the contexts of one profiling pass
+        (same base/sample_size/seed).  Sampled base arrays depend only
+        on the base table, so candidates reuse them instead of slicing
+        per candidate.  Treat every cached array as read-only.
     """
 
     base: Table
@@ -42,11 +47,17 @@ class ProfileContext:
     overlap_fraction: float
     sample_size: int = 100
     seed: int = 0
+    shared_cache: dict = field(default=None, repr=False)
     _sample_indices: np.ndarray = field(default=None, repr=False)
 
     def sample_indices(self) -> np.ndarray:
         """Row indices of the profiling sample (computed once, cached)."""
         if self._sample_indices is None:
+            cache = self.shared_cache
+            key = ("sample_indices", self.base.num_rows, self.sample_size, self.seed)
+            if cache is not None and key in cache:
+                self._sample_indices = cache[key]
+                return self._sample_indices
             n = self.base.num_rows
             if n <= self.sample_size:
                 self._sample_indices = np.arange(n)
@@ -54,6 +65,8 @@ class ProfileContext:
                 rng = ensure_rng(self.seed)
                 picks = rng.choice(n, size=self.sample_size, replace=False)
                 self._sample_indices = np.sort(picks)
+            if cache is not None:
+                cache[key] = self._sample_indices
         return self._sample_indices
 
     def sampled_column(self) -> np.ndarray:
@@ -63,9 +76,24 @@ class ProfileContext:
         values = to_float_array(self.column_values)
         return values[self.sample_indices()]
 
+    def _sampled_base(self, kind: str, column: str) -> np.ndarray:
+        cache = self.shared_cache
+        key = (kind, column, self.sample_size, self.seed)
+        if cache is not None and key in cache:
+            return cache[key]
+        source = (
+            self.base.numeric(column)
+            if kind == "numeric"
+            else self.base.encoded(column)
+        )
+        sampled = source[self.sample_indices()]
+        if cache is not None:
+            cache[key] = sampled
+        return sampled
+
     def sampled_base_numeric(self, column: str) -> np.ndarray:
         """A numeric base column over the same profiling sample."""
-        return self.base.numeric(column)[self.sample_indices()]
+        return self._sampled_base("numeric", column)
 
     def sampled_base_encoded(self, column: str) -> np.ndarray:
         """Any base column over the sample, encoded to floats.
@@ -74,7 +102,7 @@ class ProfileContext:
         so correlation/MI profiles can see targets too — the paper computes
         these against *all* attributes of ``Din``.
         """
-        return self.base.encoded(column)[self.sample_indices()]
+        return self._sampled_base("encoded", column)
 
     def comparable_base_columns(self) -> list:
         """Base columns worth correlating against: numeric ones plus

@@ -1,0 +1,160 @@
+"""Adversarial coverage for :mod:`repro.dataframe.types` coercion.
+
+These functions are now kernel preconditions: every fast path in
+:mod:`repro.kernels.coerce` assumes the semantics pinned here, so the
+public dataframe layer gets its own adversarial tests independent of
+the differential suite.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataframe.types import (
+    ColumnType,
+    encode_categorical,
+    infer_column_type,
+    is_missing,
+    to_float_array,
+)
+
+
+class TestIsMissing:
+    @pytest.mark.parametrize(
+        "value", [None, float("nan"), "", "  ", "\t\n\r "]
+    )
+    def test_missing(self, value):
+        assert is_missing(value)
+
+    @pytest.mark.parametrize(
+        "value",
+        [0, 0.0, -0.0, False, "0", " x ", float("inf"), float("-inf"), "nan"],
+    )
+    def test_not_missing(self, value):
+        assert not is_missing(value)
+
+
+class TestToFloatArray:
+    def test_empty(self):
+        out = to_float_array([])
+        assert out.shape == (0,) and out.dtype == float
+
+    def test_numeric_strings_with_whitespace(self):
+        out = to_float_array([" 1 ", "2.5", "1e3", "-4", "+5", ".5"])
+        assert out.tolist() == [1.0, 2.5, 1000.0, -4.0, 5.0, 0.5]
+
+    def test_non_numeric_strings_are_nan(self):
+        out = to_float_array(["x", "1,2", "0x10", "--1", "1 2"])
+        assert np.isnan(out).all()
+
+    def test_special_float_strings(self):
+        out = to_float_array(["inf", "-inf", "infinity", "nan"])
+        assert out[0] == math.inf and out[1] == -math.inf
+        assert out[2] == math.inf and np.isnan(out[3])
+
+    def test_bools_coerce_to_01(self):
+        assert to_float_array([True, False]).tolist() == [1.0, 0.0]
+
+    def test_missing_cells_are_nan(self):
+        out = to_float_array([None, float("nan"), "", "   ", 2])
+        assert np.isnan(out[:4]).all() and out[4] == 2.0
+
+    def test_numpy_scalars(self):
+        out = to_float_array([np.int64(3), np.float64(2.5)])
+        assert out.tolist() == [3.0, 2.5]
+
+    def test_huge_ints_do_not_overflow_silently(self):
+        out = to_float_array([10**40, -(10**40)])
+        assert out[0] == float(10**40) and out[1] == float(-(10**40))
+
+    def test_infinities_survive(self):
+        out = to_float_array([float("inf"), float("-inf"), -0.0])
+        assert out[0] == math.inf and out[1] == -math.inf
+        assert math.copysign(1.0, out[2]) == -1.0
+
+    def test_underscore_float_grammar(self):
+        # float()'s grammar accepts PEP 515 underscores; pinned so the
+        # numpy fast path (which parses differently) must defer.
+        assert to_float_array(["1_000"]).tolist() == [1000.0]
+
+    def test_nul_bytes_in_strings(self):
+        out = to_float_array(["1\x002", "3"])
+        assert np.isnan(out[0]) and out[1] == 3.0
+
+
+class TestEncodeCategorical:
+    def test_empty(self):
+        assert encode_categorical([]).shape == (0,)
+
+    def test_codes_follow_sorted_string_order(self):
+        out = encode_categorical(["b", "a", "c", "a", "b"])
+        assert out.tolist() == [1.0, 0.0, 2.0, 0.0, 1.0]
+
+    def test_missing_cells_are_nan(self):
+        out = encode_categorical(["a", None, "", "  ", float("nan"), "b"])
+        assert out[0] == 0.0 and out[5] == 1.0
+        assert np.isnan(out[1:5]).all()
+
+    def test_all_missing(self):
+        assert np.isnan(encode_categorical([None, "", float("nan")])).all()
+
+    def test_non_string_cells_encode_via_str(self):
+        out = encode_categorical([1, "1", 2.5, True])
+        # sorted distinct strings: "1", "2.5", "True" — int 1 and "1" share a code
+        assert out.tolist() == [0.0, 0.0, 1.0, 2.0]
+
+    def test_unicode_sort_order(self):
+        out = encode_categorical(["é", "e", "E"])
+        assert out.tolist() == [2.0, 1.0, 0.0]
+
+    def test_nul_bytes_keep_exact_codes(self):
+        out = encode_categorical(["a\x00b", "a", "a\x00b"])
+        assert out.tolist() == [1.0, 0.0, 1.0]
+
+    def test_deterministic_across_input_order(self):
+        a = encode_categorical(["x", "y", "z"])
+        b = encode_categorical(["z", "y", "x"])
+        assert a.tolist() == [0.0, 1.0, 2.0]
+        assert b.tolist() == [2.0, 1.0, 0.0]
+
+
+class TestInferColumnType:
+    def test_empty_column(self):
+        assert infer_column_type([]) is ColumnType.EMPTY
+        assert infer_column_type([None, "", float("nan")]) is ColumnType.EMPTY
+
+    def test_numeric(self):
+        values = [1, "2.5", None, float("inf"), True]
+        assert infer_column_type(values) is ColumnType.NUMERIC
+
+    def test_numeric_strings_with_noise_fall_to_categorical(self):
+        values = ["1", "2", "x"] * 5
+        assert infer_column_type(values) is ColumnType.CATEGORICAL
+
+    def test_text_when_many_distinct(self):
+        values = [f"name-{i}" for i in range(500)]
+        assert infer_column_type(values) is ColumnType.TEXT
+
+    def test_threshold_scales_with_column_size(self):
+        # 5% of 1000 = 50 distinct > threshold 20, still categorical.
+        values = [f"c{i % 40}" for i in range(1000)]
+        assert infer_column_type(values) is ColumnType.CATEGORICAL
+
+    def test_custom_threshold(self):
+        values = ["a", "b", "c"]
+        assert infer_column_type(values, categorical_threshold=2) is (
+            ColumnType.TEXT
+        )
+        assert infer_column_type(values, categorical_threshold=3) is (
+            ColumnType.CATEGORICAL
+        )
+
+    def test_numpy_bool_cells_are_not_numeric(self):
+        # np.bool_ is outside the reference's numeric families — pinned
+        # (the kernel fast path must not reclassify it).
+        assert infer_column_type([np.bool_(True)]) is ColumnType.CATEGORICAL
+
+    def test_mixed_numeric_kinds(self):
+        values = [np.int64(1), np.float64(2.0), 3, "4"]
+        assert infer_column_type(values) is ColumnType.NUMERIC

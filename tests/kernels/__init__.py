@@ -1,0 +1,7 @@
+"""Differential kernel-equivalence suite.
+
+Every vectorized kernel in :mod:`repro.kernels` is driven against its
+retained scalar reference on adversarial columns; golden tests pin the
+hash families and artifact bytes so a silent change to either breaks
+loudly.
+"""

@@ -1,0 +1,101 @@
+"""Differential tests for the coercion kernels (float arrays,
+categorical codes, type inference) on adversarial cells."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from tests.kernels.util import differential
+
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+mixed_cell = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**18), max_value=10**18),
+    any_float,
+    st.text(max_size=10),
+)
+
+ADVERSARIAL_COLUMNS = [
+    [],
+    [None, None],
+    [float("nan"), float("inf"), float("-inf"), -0.0],
+    [True, False, 1, 0],
+    ["1", " 2.5 ", "1e3", "-inf", "nan", "0x10"],
+    ["", "   ", "\t", None],
+    ["a", "b", "a", ""],
+    ["a\x00b", "a", "a\x00b"],
+    [1, "1", 1.0, "1.0"],
+    [np.float64(2.5), np.int64(3), np.bool_(True)],
+    ["café", "CAFÉ", "é中\U0001f600"],
+    [10**40, -(10**40)],
+    ["1_000", "+5", "-0", ".5", "5.", "infinity"],
+]
+
+
+def assert_float_arrays_equal(vec, ref):
+    assert vec.shape == ref.shape
+    assert np.array_equal(vec, ref, equal_nan=True)
+
+
+class TestToFloatArray:
+    @settings(max_examples=150, deadline=None)
+    @given(cells=st.lists(mixed_cell, max_size=50))
+    def test_matches_reference(self, cells):
+        vec, ref = differential(kernels.to_float_array, cells)
+        assert_float_arrays_equal(vec, ref)
+
+    def test_adversarial_columns(self, differential):
+        for cells in ADVERSARIAL_COLUMNS:
+            vec, ref = differential(kernels.to_float_array, cells)
+            assert_float_arrays_equal(vec, ref)
+
+
+class TestEncodeCategorical:
+    @settings(max_examples=150, deadline=None)
+    @given(cells=st.lists(st.one_of(st.text(max_size=10)), max_size=50))
+    def test_all_str_matches_reference(self, cells):
+        vec, ref = differential(kernels.encode_categorical, cells)
+        assert_float_arrays_equal(vec, ref)
+
+    @settings(max_examples=100, deadline=None)
+    @given(cells=st.lists(mixed_cell, max_size=40))
+    def test_mixed_matches_reference(self, cells):
+        vec, ref = differential(kernels.encode_categorical, cells)
+        assert_float_arrays_equal(vec, ref)
+
+    def test_adversarial_columns(self, differential):
+        for cells in ADVERSARIAL_COLUMNS:
+            vec, ref = differential(kernels.encode_categorical, cells)
+            assert_float_arrays_equal(vec, ref)
+
+    def test_codes_are_sorted_distinct_order(self):
+        codes = kernels.encode_categorical(["b", "a", "c", "a"])
+        assert codes.tolist() == [1.0, 0.0, 2.0, 0.0]
+
+
+class TestInferColumnType:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cells=st.lists(mixed_cell, max_size=50),
+        threshold=st.sampled_from((1, 20)),
+    )
+    def test_matches_reference(self, cells, threshold):
+        vec, ref = differential(kernels.infer_column_type, cells, threshold)
+        assert vec == ref
+
+    def test_adversarial_columns(self, differential):
+        for cells in ADVERSARIAL_COLUMNS:
+            vec, ref = differential(kernels.infer_column_type, cells)
+            assert vec == ref, cells
+
+    def test_numeric_fast_path_classification(self, differential):
+        vec, ref = differential(
+            kernels.infer_column_type, [1, 2.5, None, float("nan")]
+        )
+        assert vec == ref == "numeric"
+        vec, ref = differential(
+            kernels.infer_column_type, [None, float("nan")]
+        )
+        assert vec == ref == "empty"

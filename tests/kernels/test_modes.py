@@ -1,0 +1,66 @@
+"""Kernel mode dispatch: env parsing, runtime forcing, cache gating."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import kernels
+
+
+class TestModeControls:
+    def test_default_mode_is_vectorized(self):
+        assert kernels.active_mode() in kernels.KERNEL_MODES
+
+    def test_set_mode_rejects_unknown(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            kernels.set_mode("simd")
+
+    def test_force_mode_restores_on_exit(self):
+        before = kernels.active_mode()
+        with kernels.force_mode("reference"):
+            assert kernels.active_mode() == "reference"
+        assert kernels.active_mode() == before
+
+    def test_force_mode_restores_on_error(self):
+        before = kernels.active_mode()
+        with pytest.raises(RuntimeError):
+            with kernels.force_mode("reference"):
+                raise RuntimeError("boom")
+        assert kernels.active_mode() == before
+
+    def test_caching_disabled_in_reference_mode(self):
+        with kernels.force_mode("reference"):
+            assert not kernels.caching_enabled()
+        with kernels.force_mode("vectorized"):
+            assert kernels.caching_enabled()
+
+
+class TestEnvironmentSelection:
+    @staticmethod
+    def _mode_under_env(value):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        code = "import repro.kernels as k; print(k.active_mode())"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.path.join(root, "src"),
+                "REPRO_KERNELS": value,
+            },
+            check=True,
+        )
+        return out.stdout.strip()
+
+    def test_env_reference(self):
+        assert self._mode_under_env("reference") == "reference"
+
+    def test_env_case_and_whitespace_tolerant(self):
+        assert self._mode_under_env("  Reference ") == "reference"
+
+    def test_env_unknown_falls_back_to_vectorized(self):
+        assert self._mode_under_env("turbo") == "vectorized"

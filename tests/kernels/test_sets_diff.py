@@ -1,0 +1,138 @@
+"""Differential tests for the set-shaped kernels: distinct values,
+missing counts, normalization, containment estimation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from tests.kernels.util import differential
+from repro.kernels import reference
+
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+mixed_cell = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**18), max_value=10**18),
+    any_float,
+    st.text(max_size=12),
+)
+
+
+class TestDistinctStrings:
+    @settings(max_examples=150, deadline=None)
+    @given(cells=st.lists(st.text(max_size=12), max_size=60))
+    def test_all_str_matches_reference(self, cells):
+        vec, ref = differential(kernels.distinct_strings, cells)
+        assert vec == ref
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cells=st.lists(
+            st.one_of(st.none(), any_float), max_size=60
+        )
+    )
+    def test_float_none_matches_reference(self, cells):
+        """The numpy float64→str fast path: dragon4 shortest round-trip
+        formatting must equal Python str() on every bit pattern."""
+        vec, ref = differential(kernels.distinct_strings, cells)
+        assert vec == ref
+
+    @settings(max_examples=100, deadline=None)
+    @given(cells=st.lists(mixed_cell, max_size=40))
+    def test_mixed_type_matches_reference(self, cells):
+        vec, ref = differential(kernels.distinct_strings, cells)
+        assert vec == ref
+
+    def test_adversarial_fixed_columns(self, differential):
+        columns = [
+            [],
+            [None, None, float("nan")],
+            [0.0, -0.0, float("inf"), float("-inf"), 5e-324, 1.7976e308],
+            [1, 1.0, True],  # equal across types, different strings
+            ["", "  ", "\t", "a"],
+            ["café", "CAFÉ", "a\x00b"],
+            [0, -0, 10**30],
+        ]
+        for cells in columns:
+            vec, ref = differential(kernels.distinct_strings, cells)
+            assert vec == ref, cells
+
+    def test_million_row_float_column(self, differential):
+        rng = np.random.default_rng(0)
+        cells = rng.integers(0, 1 << 64, size=1_000_000, dtype=np.uint64)
+        cells = cells.view(np.float64).tolist()
+        vec, ref = differential(kernels.distinct_strings, cells)
+        assert vec == ref
+
+
+class TestCountNonMissing:
+    @settings(max_examples=100, deadline=None)
+    @given(cells=st.lists(mixed_cell, max_size=60))
+    def test_matches_reference(self, cells):
+        vec, ref = differential(kernels.count_non_missing, cells)
+        assert vec == ref
+
+    def test_unhashable_cells_fall_back(self, differential):
+        cells = [[1, 2], None, "x", [1, 2]]
+        vec, ref = differential(kernels.count_non_missing, cells)
+        assert vec == ref == 3
+
+    def test_missing_shapes(self, differential):
+        cells = [None, float("nan"), "", "   ", "\t\n", 0, 0.0, "0"]
+        vec, ref = differential(kernels.count_non_missing, cells)
+        assert vec == ref == 3
+
+
+class TestNormalize:
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.text(max_size=16), max_size=40))
+    def test_matches_reference(self, values):
+        vec, ref = differential(kernels.normalize_strings, values)
+        assert vec == ref
+
+    def test_normalize_many_is_elementwise(self):
+        collections = [{"A ", " b"}, set(), {"Ç", "ß"}]
+        assert kernels.normalize_many(collections) == [
+            reference.normalize_strings(c) for c in collections
+        ]
+
+
+class TestContainment:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        query=st.sets(st.text(min_size=1, max_size=8), max_size=40),
+        candidate=st.sets(st.text(min_size=1, max_size=8), max_size=40),
+    )
+    def test_array_path_matches_set_path(self, query, candidate):
+        # ``sorted_unique_array`` returns None for values outside the
+        # unicode fast path (NUL bytes) — callers must keep the set.
+        q_arr = kernels.sorted_unique_array(query)
+        c_arr = kernels.sorted_unique_array(candidate)
+        exact = reference.containment_count(query, candidate)
+        assert kernels.containment_count(query, candidate) == exact
+        if q_arr is not None and c_arr is not None:
+            assert kernels.containment_count_arrays(q_arr, c_arr) == exact
+            assert kernels.containment_count(q_arr, c_arr) == exact
+        # Mixed set/array invocations agree too.
+        if c_arr is not None:
+            assert kernels.containment_count(query, c_arr) == exact
+        if q_arr is not None:
+            assert kernels.containment_count(q_arr, candidate) == exact
+
+    def test_empty_sides(self):
+        empty = kernels.sorted_unique_array([])
+        some = kernels.sorted_unique_array(["a", "b"])
+        assert kernels.containment_count_arrays(empty, some) == 0
+        assert kernels.containment_count_arrays(some, empty) == 0
+
+    def test_nul_values_degrade_to_reference(self, differential):
+        assert kernels.sorted_unique_array(["a\x00", "b"]) is None
+        vec, ref = differential(
+            kernels.containment_count, {"a\x00", "b"}, {"a\x00", "c"}
+        )
+        assert vec == ref == 1
+
+    def test_sorted_unique_array_shape(self):
+        arr = kernels.sorted_unique_array(["b", "a", "b", "é"])
+        assert arr.tolist() == ["a", "b", "é"]

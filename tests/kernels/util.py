@@ -1,0 +1,17 @@
+"""Shared helpers for the differential kernel suite."""
+
+from repro import kernels
+
+
+def differential(fn, *args, **kwargs):
+    """Run ``fn(*args)`` under both kernel modes; returns the pair
+    ``(vectorized_result, reference_result)`` for the caller to compare.
+
+    Restores whatever mode was active, so tests cannot leak mode state
+    into each other.
+    """
+    with kernels.force_mode("vectorized"):
+        vectorized = fn(*args, **kwargs)
+    with kernels.force_mode("reference"):
+        reference = fn(*args, **kwargs)
+    return vectorized, reference
